@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's reported results, prints the
+rows in the paper's terms, saves them under ``benchmarks/results/``, and
+asserts the qualitative *shape* (who wins, by roughly what factor, where
+crossovers fall) so regressions fail loudly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def report(
+    exp_id: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    notes: Sequence[str] = (),
+) -> str:
+    """Print + persist one experiment's reproduced table."""
+    body = [f"== {exp_id}: {title} ==", format_table(headers, rows)]
+    for note in notes:
+        body.append(f"  note: {note}")
+    text = "\n".join(body)
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{exp_id}.txt"), "w") as handle:
+        handle.write(text + "\n")
+    return text
+
+
+def once(benchmark, func):
+    """Run a full scenario exactly once under pytest-benchmark timing.
+
+    Simulation runs are deterministic; repeating them only re-measures
+    wall time of identical work, so one round suffices.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

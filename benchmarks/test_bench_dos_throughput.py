@@ -1,0 +1,83 @@
+"""EXP-C2 (§IV-C, bullet 2): impact of concurrent DoS on throughput.
+
+Paper setup: sweep the number of concurrent clients; 50 % of them are
+malicious in the attacked configurations.  Paper findings:
+
+- all-correct: the system maintains a constant average throughput of
+  ~110 MB/s per client;
+- attacked, no security: performance drastically lowered, decreasing
+  under 50 MB/s when more than 30 clients are deployed;
+- attacked, with security: throughput increases again once the
+  attackers are blocked.
+"""
+
+from _util import once, report
+
+from repro.workloads import build_dos_scenario
+
+CLIENT_SWEEP = [10, 20, 30, 40, 50]
+DURATION = 150.0
+ATTACK_START = 10.0
+
+
+def mean_correct_throughput(n_clients, malicious_fraction, security):
+    scenario = build_dos_scenario(
+        n_clients=n_clients,
+        malicious_fraction=malicious_fraction,
+        security_enabled=security,
+        data_providers=60,
+        metadata_providers=8,
+        monitoring_services=8,
+        attack_start=ATTACK_START,
+        attack_stagger_s=5.0,
+        seed=19,
+    )
+    scenario.run(until=DURATION)
+    # Steady-state metric: ops that completed once the attack was fully
+    # underway (the paper's numbers are steady-state averages too).
+    values = [
+        r.throughput_mbps
+        for w in scenario.correct
+        for r in w.results
+        if r.ok and r.finished_at > ATTACK_START + 30.0
+    ]
+    return sum(values) / len(values) if values else 0.0
+
+
+def test_exp_c2_dos_throughput_sweep(benchmark):
+    def run():
+        rows = []
+        for n in CLIENT_SWEEP:
+            correct = mean_correct_throughput(n, 0.0, security=False)
+            attacked = mean_correct_throughput(n, 0.5, security=False)
+            protected = mean_correct_throughput(n, 0.5, security=True)
+            rows.append((n, correct, attacked, protected))
+        return rows
+
+    rows = once(benchmark, run)
+    report(
+        "EXP-C2",
+        "per-client write throughput vs client count (50% malicious when attacked)",
+        ["clients", "all correct MB/s", "attacked, no security MB/s",
+         "attacked, with security MB/s"],
+        [(n, f"{c:.1f}", f"{a:.1f}", f"{p:.1f}") for n, c, a, p in rows],
+        notes=[
+            "paper: all-correct constant ~110 MB/s; attacked w/o security "
+            "< 50 MB/s beyond 30 clients; security restores throughput",
+        ],
+    )
+    # Shape claim 1: all-correct stays roughly constant (~110 MB/s zone).
+    correct_values = [c for _n, c, _a, _p in rows]
+    assert min(correct_values) > 90.0
+    assert max(correct_values) - min(correct_values) < 0.25 * max(correct_values)
+    # Shape claim 2: unprotected throughput collapses below 50 MB/s past 30 clients.
+    for n, _c, attacked, _p in rows:
+        if n > 30:
+            assert attacked < 50.0, (n, attacked)
+    # Shape claim 3: monotone degradation with scale in the attacked runs.
+    attacked_values = [a for _n, _c, a, _p in rows]
+    assert attacked_values[0] > attacked_values[-1]
+    # Shape claim 4: the security framework restores a large part of it.
+    for n, _c, attacked, protected in rows:
+        if n >= 30:
+            assert protected > attacked * 1.3, (n, attacked, protected)

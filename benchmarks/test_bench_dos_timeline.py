@@ -1,0 +1,67 @@
+"""EXP-C1 (§IV-C, bullet 1): client throughput over time under DoS.
+
+Paper setup: 70 BlobSeer nodes, 8 monitoring services, concurrent
+writers; malicious clients start a DoS attack mid-run.  Paper finding:
+the initial average throughput suddenly decreases (up to ~70 %) when
+the attack starts; once the Policy Management module detects the
+violations and blocks the attackers, throughput climbs back towards its
+initial value.
+"""
+
+from _util import once, report
+
+from repro.introspection import IntrospectionLayer
+from repro.workloads import build_dos_scenario
+
+ATTACK_START = 60.0
+DURATION = 260.0
+
+
+def test_exp_c1_dos_timeline(benchmark):
+    def run():
+        scenario = build_dos_scenario(
+            n_clients=50,
+            malicious_fraction=0.5,
+            security_enabled=True,
+            data_providers=60,
+            metadata_providers=8,
+            monitoring_services=8,
+            attack_start=ATTACK_START,
+            seed=17,
+        )
+        scenario.run(until=DURATION)
+        layer = IntrospectionLayer(scenario.monitoring.repository)
+        series = layer.throughput_timeline(
+            bucket_s=10.0,
+            clients=[w.client.client_id for w in scenario.correct],
+        )
+        blocked = sum(1 for a in scenario.attackers if a.blocked)
+        return series, blocked, len(scenario.attackers)
+
+    series, blocked, total = once(benchmark, run)
+    # Drop the last (partial-op boundary) bucket.
+    series = series[:-1]
+    rows = [(f"{t:.0f}", f"{v:.1f}") for t, v in series]
+    baseline = max(v for t, v in series if t <= ATTACK_START)
+    trough = min(v for t, v in series if ATTACK_START < t <= ATTACK_START + 90)
+    tail = [v for t, v in series if t > DURATION - 40]
+    recovered = max(tail)
+    drop_pct = (baseline - trough) / baseline * 100.0
+    report(
+        "EXP-C1",
+        "average correct-client throughput under DoS (50 clients, 50% malicious)",
+        ["time (s)", "avg throughput (MB/s)"],
+        rows,
+        notes=[
+            f"baseline {baseline:.1f} MB/s; trough {trough:.1f} MB/s "
+            f"(drop {drop_pct:.0f}%); recovered to {recovered:.1f} MB/s",
+            f"attackers blocked: {blocked}/{total}",
+            "paper: sudden decrease up to ~70%, then recovery towards the "
+            "initial value once attackers are blocked",
+        ],
+    )
+    # Shape claims: a large sudden drop, every attacker blocked, recovery.
+    assert drop_pct > 35.0, drop_pct
+    assert blocked == total
+    assert recovered > 0.85 * baseline, (recovered, baseline)
+    assert trough < 0.65 * baseline

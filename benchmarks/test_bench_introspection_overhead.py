@@ -1,0 +1,72 @@
+"""EXP-B (§IV-B): impact of the introspection architecture on BlobSeer.
+
+Paper setup: 150 data providers, 5–80 concurrent clients, each writing
+1 GB; compare plain BlobSeer against BlobSeer + full introspection
+stack.  Paper finding: performance is NOT influenced by the
+introspection architecture — intrusiveness is minimal even when the
+number of generated monitoring parameters reaches 10,000 (>80 clients
+with fine-grained chunks).
+
+Scaled for simulation wall time: the 80-client point uses 8 MB chunks
+(the paper's fine-grained regime), which is what drives the parameter
+count past 10,000.
+"""
+
+from _util import once, report
+
+from repro.workloads import build_write_scenario
+
+CLIENT_SWEEP = [5, 20, 40, 80]
+
+
+def run_point(clients: int, with_monitoring: bool, chunk_mb: float):
+    scenario = build_write_scenario(
+        clients=clients,
+        data_providers=150,
+        metadata_providers=8,
+        op_mb=1024.0,
+        ops_per_client=1,
+        chunk_size_mb=chunk_mb,
+        with_monitoring=with_monitoring,
+        monitoring_services=8,
+        seed=13,
+    )
+    scenario.run()
+    throughput = scenario.mean_client_throughput()
+    parameters = (
+        scenario.monitoring.parameter_count() if scenario.monitoring else 0
+    )
+    return throughput, parameters
+
+
+def test_exp_b_introspection_overhead(benchmark):
+    def run():
+        rows = []
+        for clients in CLIENT_SWEEP:
+            chunk = 8.0 if clients >= 80 else 64.0
+            base, _ = run_point(clients, with_monitoring=False, chunk_mb=chunk)
+            monitored, parameters = run_point(clients, with_monitoring=True,
+                                              chunk_mb=chunk)
+            overhead = (base - monitored) / base * 100.0 if base else 0.0
+            rows.append((clients, f"{base:.1f}", f"{monitored:.1f}",
+                         f"{overhead:+.2f}%", parameters))
+        return rows
+
+    rows = once(benchmark, run)
+    report(
+        "EXP-B",
+        "introspection overhead (150 providers, 1 GB per client)",
+        ["clients", "plain MB/s", "monitored MB/s", "overhead", "parameters"],
+        rows,
+        notes=[
+            "paper: throughput not influenced by introspection;",
+            "paper: ~10,000 monitoring parameters generated at 80 clients",
+        ],
+    )
+    for clients, base, monitored, overhead, parameters in rows:
+        base_v, mon_v = float(base), float(monitored)
+        # Shape claim 1: monitoring costs at most a few percent.
+        assert mon_v > base_v * 0.95, (clients, base_v, mon_v)
+    # Shape claim 2: the fine-grained 80-client point generates >= 10k params.
+    assert rows[-1][0] == 80
+    assert rows[-1][4] >= 10_000

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` in offline environments
+without the `wheel` package (no PEP 517 build isolation available)."""
+
+from setuptools import setup
+
+setup()

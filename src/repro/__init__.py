@@ -1,0 +1,42 @@
+"""repro — reproduction of "Towards a Self-Adaptive Data Management
+System for Cloud Environments" (Carpen-Amarie, IPDPS PhD Forum 2011).
+
+Subpackages
+-----------
+- ``repro.simulation``    discrete-event kernel + flow-level network
+- ``repro.cluster``       simulated physical testbed (Grid'5000 substitute)
+- ``repro.blobseer``      the BlobSeer storage substrate (five actors)
+- ``repro.monitoring``    MonALISA-substitute monitoring layer
+- ``repro.introspection`` aggregation + visualization of system state
+- ``repro.security``      policy definition / detection / enforcement / trust
+- ``repro.adaptation``    self-configuration & self-optimization engines
+- ``repro.cloud``         S3-compatible (Cumulus-style) gateway
+- ``repro.workloads``     correct / malicious client behaviours, scenarios
+"""
+
+__version__ = "1.0.0"
+
+from . import (
+    adaptation,
+    blobseer,
+    cloud,
+    cluster,
+    introspection,
+    monitoring,
+    security,
+    simulation,
+    workloads,
+)
+
+__all__ = [
+    "simulation",
+    "cluster",
+    "blobseer",
+    "monitoring",
+    "introspection",
+    "security",
+    "adaptation",
+    "cloud",
+    "workloads",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Self-* adaptation engines: elasticity (self-configuration),
+replication & removal (self-optimization), built on a MAPE-K loop."""
+
+from .controller import AdaptationDecision, ControlLoop
+from .elasticity import ElasticityController
+from .removal import (
+    ColdDataRemoval,
+    LRURemoval,
+    OrphanRemoval,
+    RemovalManager,
+    RemovalStrategy,
+    TTLRemoval,
+)
+from .replication_manager import ReplicationManager, migrate_chunks
+
+__all__ = [
+    "ControlLoop",
+    "AdaptationDecision",
+    "ElasticityController",
+    "ReplicationManager",
+    "migrate_chunks",
+    "RemovalManager",
+    "RemovalStrategy",
+    "TTLRemoval",
+    "ColdDataRemoval",
+    "LRURemoval",
+    "OrphanRemoval",
+]

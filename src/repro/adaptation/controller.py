@@ -1,0 +1,63 @@
+"""MAPE-K control loop base for the self-* engines (paper §V).
+
+All adaptation engines share the same skeleton: a periodic simulated
+process that Monitors (via the introspection layer), Analyzes, Plans and
+Executes, with shared Knowledge in the engine's own state.  Decisions
+are logged so benches can report *when* and *why* the system adapted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["AdaptationDecision", "ControlLoop"]
+
+
+@dataclass
+class AdaptationDecision:
+    """One executed adaptation action."""
+
+    time: float
+    engine: str
+    action: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class ControlLoop:
+    """Periodic monitor→analyze→plan→execute loop.
+
+    Subclasses implement :meth:`step`, which inspects the system and
+    returns a list of decisions (possibly empty).  A cooldown suppresses
+    oscillation: after any non-empty step, the loop holds off for
+    ``cooldown_s``.
+    """
+
+    name = "control-loop"
+
+    def __init__(self, interval_s: float = 5.0, cooldown_s: float = 0.0) -> None:
+        self.interval_s = interval_s
+        self.cooldown_s = cooldown_s
+        self.decisions: List[AdaptationDecision] = []
+        self._cooldown_until = -float("inf")
+        self.enabled = True
+        self.steps = 0
+
+    def step(self, now: float) -> List[AdaptationDecision]:  # pragma: no cover
+        """Inspect + adapt; implemented by subclasses."""
+        raise NotImplementedError
+
+    def run(self, env):
+        """Generator: start with ``env.process(loop.run(env))``."""
+        while True:
+            yield env.timeout(self.interval_s)
+            if not self.enabled or env.now < self._cooldown_until:
+                continue
+            self.steps += 1
+            decisions = self.step(env.now)
+            if decisions:
+                self.decisions.extend(decisions)
+                self._cooldown_until = env.now + self.cooldown_s
+
+    def decisions_of(self, action: str) -> List[AdaptationDecision]:
+        return [d for d in self.decisions if d.action == action]

@@ -1,0 +1,149 @@
+"""Self-configuration: dynamic data-provider deployment (paper §V).
+
+"This is a means to support storage elasticity in BlobSeer, by enabling
+the data providers to scale up and down depending on the system's needs
+in terms of storage space and access load.  We designed a component that
+adapts the storage system to the environment by contracting and
+expanding the pool of data providers based on the system's load."
+
+The controller watches two signals:
+
+- **access load** — mean NIC utilisation + disk-queue pressure across
+  the active provider pool;
+- **storage space** — pool-wide disk fill fraction.
+
+Above the high watermark it adds providers (simulating the dynamic VM
+deployment of the Nimbus integration); below the low watermark it drains
+the least-loaded provider (migrating its sole-copy chunks) and retires
+it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..blobseer.deployment import BlobSeerDeployment
+from ..blobseer.errors import NoProvidersAvailable
+from ..blobseer.provider import DataProvider
+from .controller import AdaptationDecision, ControlLoop
+from .replication_manager import migrate_chunks
+
+__all__ = ["ElasticityController"]
+
+
+class ElasticityController(ControlLoop):
+    """Expands/contracts the provider pool based on measured load."""
+
+    name = "elasticity"
+
+    def __init__(
+        self,
+        deployment: BlobSeerDeployment,
+        min_providers: int = 2,
+        max_providers: int = 256,
+        high_load: float = 0.65,
+        low_load: float = 0.15,
+        high_fill: float = 0.85,
+        scale_up_step: int = 2,
+        interval_s: float = 5.0,
+        cooldown_s: float = 15.0,
+        provision_delay_s: float = 10.0,
+    ) -> None:
+        super().__init__(interval_s=interval_s, cooldown_s=cooldown_s)
+        self.deployment = deployment
+        self.env = deployment.env
+        self.min_providers = min_providers
+        self.max_providers = max_providers
+        self.high_load = high_load
+        self.low_load = low_load
+        self.high_fill = high_fill
+        self.scale_up_step = scale_up_step
+        #: Time to boot a fresh provider VM (Nimbus-style provisioning).
+        self.provision_delay_s = provision_delay_s
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self._provisioning = 0
+        self._draining: set[str] = set()
+        #: (time, pool_size) samples for bench plots.
+        self.pool_timeline: List[tuple] = []
+
+    # -- signals ----------------------------------------------------------------
+    def pool_load(self) -> float:
+        """Mean provider pressure in [0, ~1.5]: NIC + disk queue."""
+        providers = self.deployment.pmanager.active_providers()
+        if not providers:
+            return 1.0
+        total = 0.0
+        for provider in providers:
+            out_rate, in_rate = provider.node.network_load()
+            nic = (out_rate + in_rate) / (
+                provider.node.netnode.capacity_in + provider.node.netnode.capacity_out
+            )
+            queue = min(1.0, provider.disk_queue_length / 8.0)
+            total += 0.7 * nic + 0.3 * queue
+        return total / len(providers)
+
+    def pool_fill(self) -> float:
+        providers = self.deployment.pmanager.active_providers()
+        if not providers:
+            return 1.0
+        used = sum(p.node.disk_used_mb for p in providers)
+        capacity = sum(p.node.disk.capacity for p in providers)
+        return used / capacity if capacity else 1.0
+
+    # -- MAPE step -----------------------------------------------------------------
+    def step(self, now: float) -> List[AdaptationDecision]:
+        pool = self.deployment.pmanager.pool_size() + self._provisioning
+        load = self.pool_load()
+        fill = self.pool_fill()
+        self.pool_timeline.append((now, pool, load))
+        decisions: List[AdaptationDecision] = []
+
+        if (load > self.high_load or fill > self.high_fill) and pool < self.max_providers:
+            count = min(self.scale_up_step, self.max_providers - pool)
+            for _ in range(count):
+                self._provisioning += 1
+                self.env.process(self._provision(), name="elastic-up")
+            self.scale_ups += count
+            decisions.append(AdaptationDecision(
+                now, self.name, "scale_up",
+                {"count": count, "load": round(load, 3), "fill": round(fill, 3)},
+            ))
+        elif load < self.low_load and fill < self.high_fill and pool > self.min_providers:
+            victim = self._pick_victim()
+            if victim is not None:
+                self._draining.add(victim.provider_id)
+                self.env.process(self._drain(victim), name="elastic-down")
+                self.scale_downs += 1
+                decisions.append(AdaptationDecision(
+                    now, self.name, "scale_down",
+                    {"provider": victim.provider_id, "load": round(load, 3)},
+                ))
+        return decisions
+
+    def _pick_victim(self) -> Optional[DataProvider]:
+        candidates = [
+            p for p in self.deployment.pmanager.active_providers()
+            if p.provider_id not in self._draining
+        ]
+        if len(candidates) <= self.min_providers:
+            return None
+        return min(candidates, key=lambda p: (len(p.chunks), p.load_score()))
+
+    def _provision(self):
+        yield self.env.timeout(self.provision_delay_s)
+        self._provisioning -= 1
+        self.deployment.add_provider()
+
+    def _drain(self, provider: DataProvider):
+        # Stop new allocations first, then move data away, then retire.
+        provider.decommission()
+        self.deployment.pmanager.deregister(provider.provider_id)
+        try:
+            yield from migrate_chunks(provider, self.deployment)
+        except NoProvidersAvailable:
+            # Nowhere to put the data: cancel the scale-down.
+            provider.recommission()
+            self.deployment.pmanager.register(provider)
+        finally:
+            self._draining.discard(provider.provider_id)

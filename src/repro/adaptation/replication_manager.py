@@ -1,0 +1,217 @@
+"""Self-optimization: automatic data replication (paper §V).
+
+"a data-management system has to automatically maintain the replication
+degree of data chunks and to support a dynamic adjustment of the
+replication degree, according to the load of the storage nodes and the
+applications access patterns."
+
+The manager periodically sweeps the chunk directory:
+
+- **repair** — chunks whose live replica count fell below the target
+  (node crashes) are re-replicated from a surviving copy;
+- **promote** — chunks read faster than ``hot_reads_per_s`` gain extra
+  replicas (up to ``max_replication``) to spread read load;
+- **demote** — previously-hot chunks that cooled down drop back to the
+  target degree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..blobseer.blob import ChunkDescriptor
+from ..blobseer.deployment import BlobSeerDeployment
+from ..blobseer.errors import BlobSeerError, NoProvidersAvailable
+from ..cluster.node import NodeDownError
+from ..blobseer.instrument import EV_REPLICA_REPAIR, MonitoringEvent
+from ..blobseer.provider import DataProvider
+from ..simulation.network import TransferAborted
+from .controller import AdaptationDecision, ControlLoop
+
+__all__ = ["ReplicationManager", "migrate_chunks"]
+
+
+class ReplicationManager(ControlLoop):
+    """Maintains per-chunk replication degree."""
+
+    name = "replication"
+
+    def __init__(
+        self,
+        deployment: BlobSeerDeployment,
+        target_replication: int = 2,
+        max_replication: int = 4,
+        hot_reads_per_s: float = 1.0,
+        interval_s: float = 5.0,
+        max_repairs_per_step: int = 64,
+    ) -> None:
+        super().__init__(interval_s=interval_s)
+        self.deployment = deployment
+        self.env = deployment.env
+        self.target_replication = target_replication
+        self.max_replication = max_replication
+        self.hot_reads_per_s = hot_reads_per_s
+        self.max_repairs_per_step = max_repairs_per_step
+        #: MB moved by repair/promotion traffic (bench metric).
+        self.repair_traffic_mb = 0.0
+        self.repairs_done = 0
+        self.promotions = 0
+        self.demotions = 0
+        self.lost_chunks: List[str] = []
+        #: read counters snapshot for hotness estimation
+        self._read_counts: Dict[str, Tuple[float, int]] = {}
+        self._in_flight: set[str] = set()
+
+    # -- directory ------------------------------------------------------------
+    def chunk_directory(self) -> Dict[str, ChunkDescriptor]:
+        """All live chunks, keyed by storage key."""
+        directory: Dict[str, ChunkDescriptor] = {}
+        for provider in self.deployment.pmanager.providers.values():
+            if not provider.node.alive:
+                continue
+            directory.update(provider.chunks)
+        return directory
+
+    def live_replicas(self, descriptor: ChunkDescriptor) -> List[DataProvider]:
+        providers = self.deployment.pmanager.providers
+        out = []
+        for provider_id in descriptor.replicas:
+            provider = providers.get(provider_id)
+            if provider is not None and provider.available:
+                out.append(provider)
+        return out
+
+    # -- the MAPE step ------------------------------------------------------------
+    def step(self, now: float) -> List[AdaptationDecision]:
+        decisions: List[AdaptationDecision] = []
+        repairs = 0
+        for key, descriptor in self.chunk_directory().items():
+            if key in self._in_flight:
+                continue
+            replicas = self.live_replicas(descriptor)
+            if not replicas:
+                if key not in self.lost_chunks:
+                    self.lost_chunks.append(key)
+                continue
+            want = self._desired_degree(descriptor, now)
+            if len(replicas) < want and repairs < self.max_repairs_per_step:
+                target = self._pick_target(descriptor)
+                if target is None:
+                    continue
+                repairs += 1
+                self._in_flight.add(key)
+                kind = "repair" if len(replicas) < self.target_replication else "promote"
+                self.env.process(
+                    self._copy(descriptor, replicas[0], target, kind),
+                    name=f"repl-{kind}",
+                )
+                decisions.append(AdaptationDecision(
+                    now, self.name, kind,
+                    {"chunk": key, "to": target.provider_id},
+                ))
+            elif len(replicas) > want:
+                victim = replicas[-1]
+                victim.delete_chunk(key)
+                self.demotions += 1
+                decisions.append(AdaptationDecision(
+                    now, self.name, "demote",
+                    {"chunk": key, "from": victim.provider_id},
+                ))
+        return decisions
+
+    def _desired_degree(self, descriptor: ChunkDescriptor, now: float) -> int:
+        """Target + hotness bonus, capped at max_replication."""
+        degree = self.target_replication
+        rate = self._read_rate(descriptor, now)
+        if rate > self.hot_reads_per_s:
+            extra = int(rate / self.hot_reads_per_s)
+            degree = min(self.max_replication, degree + extra)
+        return degree
+
+    def _read_rate(self, descriptor: ChunkDescriptor, now: float) -> float:
+        """Reads/s of this chunk since the previous sweep."""
+        key = descriptor.storage_key
+        previous = self._read_counts.get(key)
+        self._read_counts[key] = (now, descriptor.read_count)
+        if previous is None:
+            return 0.0
+        prev_time, prev_count = previous
+        span = max(now - prev_time, 1e-9)
+        return (descriptor.read_count - prev_count) / span
+
+    def _pick_target(self, descriptor: ChunkDescriptor) -> Optional[DataProvider]:
+        candidates = [
+            p for p in self.deployment.pmanager.active_providers()
+            if p.provider_id not in descriptor.replicas
+            and p.free_mb >= descriptor.size_mb
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda p: p.load_score())
+
+    def _copy(self, descriptor: ChunkDescriptor, source: DataProvider,
+              target: DataProvider, kind: str):
+        try:
+            yield target.ingest(source.node, descriptor, client_id=None)
+        except Exception:
+            return
+        finally:
+            self._in_flight.discard(descriptor.storage_key)
+        if target.provider_id not in descriptor.replicas:
+            descriptor.replicas.append(target.provider_id)
+        self.repair_traffic_mb += descriptor.size_mb
+        if kind == "repair":
+            self.repairs_done += 1
+        else:
+            self.promotions += 1
+        self.deployment.sink.emit(MonitoringEvent(
+            time=self.env.now,
+            actor_type="adaptation",
+            actor_id="replication",
+            event_type=EV_REPLICA_REPAIR,
+            blob_id=descriptor.blob_id,
+            fields={"chunk": descriptor.storage_key, "kind": kind,
+                    "size_mb": descriptor.size_mb},
+        ))
+
+
+def migrate_chunks(provider: DataProvider, deployment: BlobSeerDeployment):
+    """Generator: move every chunk off *provider* (elastic scale-down).
+
+    Returns the number of chunks migrated.  Chunks with another live
+    replica are simply dropped here (cheap); sole copies are transferred
+    to the least-loaded remaining provider first.
+    """
+    pmanager = deployment.pmanager
+    moved = 0
+    for key in list(provider.chunks):
+        descriptor = provider.chunks.get(key)
+        if descriptor is None:
+            continue
+        others = [
+            pid for pid in descriptor.replicas
+            if pid != provider.provider_id
+            and pid in pmanager.providers
+            and pmanager.providers[pid].available
+        ]
+        if not others:
+            candidates = [
+                p for p in pmanager.active_providers()
+                if p.provider_id != provider.provider_id
+                and p.free_mb >= descriptor.size_mb
+            ]
+            if not candidates:
+                raise NoProvidersAvailable(
+                    f"cannot drain {provider.provider_id}: no space elsewhere"
+                )
+            target = min(candidates, key=lambda p: p.load_score())
+            try:
+                yield target.ingest(provider.node, descriptor, client_id=None)
+            except (TransferAborted, NodeDownError, BlobSeerError):
+                continue
+            if target.provider_id not in descriptor.replicas:
+                descriptor.replicas.append(target.provider_id)
+            moved += 1
+        provider.delete_chunk(key)
+    return moved

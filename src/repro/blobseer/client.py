@@ -1,0 +1,372 @@
+"""The BlobSeer client: the public face of the storage substrate.
+
+"The BlobSeer client ... implements client-side operations for each type
+of interaction: create BLOBs, read a range of chunks from a BLOB, write
+or append data to a BLOB." (paper §III-A)
+
+All operations are generators meant to run inside simulation processes:
+
+    client = BlobSeerClient(node, "client-1", deployment)
+    def workload(env):
+        blob_id = yield env.process(client.create_blob(chunk_size_mb=64))
+        result = yield env.process(client.append(blob_id, size_mb=1024))
+
+Every operation consults the pluggable :class:`AccessController`
+(self-protection hook) and emits instrumentation events (introspection
+hook).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..cluster.node import NodeDownError, PhysicalNode
+from ..simulation.network import TransferAborted
+from .access import AccessController, AllowAll
+from .blob import ChunkDescriptor, chunk_span
+from .errors import (
+    AccessDenied,
+    BlobSeerError,
+    ChunkLost,
+    NoProvidersAvailable,
+    RangeError,
+)
+from .instrument import (
+    EV_OP_END,
+    EV_OP_START,
+    EventSink,
+    MonitoringEvent,
+    NullSink,
+)
+from .metadata import MetadataProvider, MetadataStore
+from .provider import DataProvider
+from .provider_manager import ProviderManager
+from .segment_tree import tree_query, tree_update
+from .version_manager import Ticket, VersionManager
+
+__all__ = ["OpResult", "BlobSeerClient"]
+
+
+@dataclass
+class OpResult:
+    """Timing record returned by every client operation."""
+
+    op: str  # "write" | "append" | "read" | "create"
+    client_id: str
+    blob_id: Optional[int]
+    size_mb: float
+    started_at: float
+    finished_at: float
+    ok: bool = True
+    error: Optional[str] = None
+    version: Optional[int] = None
+
+    @property
+    def duration_s(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Application-level throughput of this operation, MB/s."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.size_mb / self.duration_s
+
+
+class BlobSeerClient:
+    """Client-side operations against one BlobSeer deployment."""
+
+    def __init__(
+        self,
+        node: PhysicalNode,
+        client_id: str,
+        pmanager: ProviderManager,
+        vmanager: VersionManager,
+        metadata_providers: List[MetadataProvider],
+        sink: Optional[EventSink] = None,
+        access: Optional[AccessController] = None,
+        replication: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.node = node
+        self.client_id = client_id
+        self.pm = pmanager
+        self.vm = vmanager
+        self.sink = sink or NullSink()
+        self.access = access or AllowAll()
+        self.replication = int(replication)
+        self.rng = rng or np.random.default_rng(0)
+        self.meta = MetadataStore(node.network, node, metadata_providers)
+        self._wseq = itertools.count(1)
+        #: Client-side cache of blob chunk sizes (filled on create/read).
+        self._chunk_size: Dict[int, float] = {}
+        self.history: List[OpResult] = []
+
+    @property
+    def env(self):
+        return self.node.env
+
+    # -- public operations -------------------------------------------------------
+    def create_blob(self, chunk_size_mb: float):
+        """Generator: create an empty BLOB; returns its id."""
+        self.access.authorize(self.client_id, "create")
+        start = self.env.now
+        blob_id = yield from self.vm.remote_create_blob(self.node, chunk_size_mb)
+        self._chunk_size[blob_id] = chunk_size_mb
+        self._record("create", blob_id, 0.0, start, version=0)
+        return blob_id
+
+    def write(self, blob_id: int, offset_mb: float, size_mb: float):
+        """Generator: overwrite ``[offset, offset+size)``; returns OpResult."""
+        return (yield from self._write_op("write", blob_id, offset_mb, size_mb))
+
+    def append(self, blob_id: int, size_mb: float):
+        """Generator: append at the blob's tail; returns OpResult."""
+        return (yield from self._write_op("append", blob_id, None, size_mb))
+
+    def read(
+        self,
+        blob_id: int,
+        offset_mb: float,
+        size_mb: float,
+        version: Optional[int] = None,
+    ):
+        """Generator: fetch ``[offset, offset+size)``; returns OpResult."""
+        self.access.authorize(self.client_id, "read")
+        start = self.env.now
+        self._emit(EV_OP_START, blob_id, op="read", size_mb=size_mb)
+        try:
+            latest, blob_size, chunk_size = yield from self.vm.remote_get_latest(
+                self.node, blob_id
+            )
+            self._chunk_size[blob_id] = chunk_size
+            if version is None:
+                version = latest
+            if version == 0:
+                raise RangeError(f"blob {blob_id} has no published data")
+            if offset_mb + size_mb > blob_size + 1e-9:
+                raise RangeError(
+                    f"read [{offset_mb},{offset_mb + size_mb}) beyond size {blob_size}"
+                )
+            first, last = chunk_span(offset_mb, size_mb, chunk_size)
+            descriptors = yield from tree_query(
+                self.meta, blob_id, version, first, last,
+                capacity=self.vm.tree_capacity,
+            )
+            rate_cap = self.access.rate_cap(self.client_id)
+            fetches = []
+            for index in range(first, last):
+                descriptor = descriptors.get(index)
+                if descriptor is None:
+                    continue  # hole: reads as zeros, nothing to fetch
+                provider = self._pick_replica(descriptor)
+                fetches.append(
+                    provider.serve(self.node, descriptor, self.client_id, rate_cap)
+                )
+            if fetches:
+                yield self.env.all_of(fetches)
+            result = self._record("read", blob_id, size_mb, start, version=version)
+            return result
+        except (BlobSeerError, NodeDownError, TransferAborted) as exc:
+            result = self._record(
+                "read", blob_id, size_mb, start, ok=False, error=str(exc)
+            )
+            raise
+
+    # -- write internals -----------------------------------------------------------
+    def _write_op(self, op: str, blob_id: int, offset_mb: Optional[float], size_mb: float):
+        self.access.authorize(self.client_id, op)
+        start = self.env.now
+        self._emit(EV_OP_START, blob_id, op=op, size_mb=size_mb)
+        ticket: Optional[Ticket] = None
+        in_critical = False
+        try:
+            chunk_size = self._chunk_size.get(blob_id)
+            if chunk_size is None:
+                _v, _s, chunk_size = yield from self.vm.remote_get_latest(
+                    self.node, blob_id
+                )
+                self._chunk_size[blob_id] = chunk_size
+
+            count = size_mb / chunk_size
+            if abs(count - round(count)) > 1e-9 or count <= 0:
+                raise RangeError(
+                    f"write size {size_mb}MB not a positive multiple of chunk "
+                    f"size {chunk_size}MB"
+                )
+            count = int(round(count))
+            if offset_mb is not None:
+                chunk_span(offset_mb, size_mb, chunk_size)  # alignment check
+
+            # 1. allocate providers
+            placement = yield from self.pm.remote_allocate(
+                self.node, count, self.replication, self.client_id
+            )
+
+            # 2. push chunks to every replica in parallel; chunks whose
+            #    push failed (e.g. the target provider crashed mid-write)
+            #    are retried on freshly allocated providers.
+            token = next(self._wseq)
+            rate_cap = self.access.rate_cap(self.client_id)
+            descriptors: List[ChunkDescriptor] = []
+            failures: List[ChunkDescriptor] = []
+            pushes = []
+            for i, replicas in enumerate(placement):
+                descriptor = ChunkDescriptor(
+                    blob_id=blob_id,
+                    storage_key=f"b{blob_id}.{self.client_id}.w{token}.c{i}",
+                    size_mb=chunk_size,
+                    replicas=[p.provider_id for p in replicas],
+                )
+                descriptors.append(descriptor)
+                pushes.append(self.env.process(
+                    self._push_chunk(descriptor, replicas, rate_cap, failures),
+                    name=f"push-{self.client_id}",
+                ))
+            yield self.env.all_of(pushes)
+            for _attempt in range(2):
+                if not failures:
+                    break
+                self.access.authorize(self.client_id, op)  # still welcome?
+                failures = yield from self._retry_pushes(failures, rate_cap)
+            if failures:
+                raise NoProvidersAvailable(
+                    f"could not store {len(failures)} chunk(s) after retries"
+                )
+
+            # 3. ticket (serializes metadata per blob)
+            ticket = yield from self.vm.remote_ticket(
+                self.node, blob_id, size_mb, self.client_id, offset_mb
+            )
+            in_critical = True
+
+            # 4. metadata: copy-on-write segment tree nodes
+            first_index = int(round(ticket.offset_mb / chunk_size))
+            tree_descriptors: Dict[int, ChunkDescriptor] = {}
+            for i, descriptor in enumerate(descriptors):
+                descriptor.chunk_index = first_index + i
+                descriptor.version = ticket.version
+                tree_descriptors[first_index + i] = descriptor
+            yield from tree_update(
+                self.meta, blob_id, ticket.version, ticket.prev_version,
+                tree_descriptors, capacity=self.vm.tree_capacity,
+            )
+
+            # 5. publish
+            yield from self.vm.remote_complete(self.node, ticket)
+            in_critical = False
+            result = self._record(op, blob_id, size_mb, start, version=ticket.version)
+            return result
+        except (BlobSeerError, NodeDownError, TransferAborted) as exc:
+            if ticket is not None and in_critical:
+                self.vm.abandon(ticket)
+            result = self._record(op, blob_id, size_mb, start, ok=False, error=str(exc))
+            raise
+
+    def _push_chunk(self, descriptor, replicas, rate_cap, failures):
+        """Process: push one chunk to all its replicas; on any failure,
+        queue the descriptor for the retry pass instead of raising."""
+        pushes = [
+            provider.ingest(self.node, descriptor, self.client_id, rate_cap)
+            for provider in replicas
+        ]
+        try:
+            yield self.env.all_of(pushes)
+        except (BlobSeerError, NodeDownError, TransferAborted):
+            failures.append(descriptor)
+
+    def _retry_pushes(self, failed: List[ChunkDescriptor], rate_cap):
+        """Generator: re-place failed chunks on live providers.
+
+        Returns the descriptors that *still* failed.
+        """
+        still_failed: List[ChunkDescriptor] = []
+        pushes = []
+        for descriptor in failed:
+            live = [
+                pid for pid in descriptor.replicas
+                if pid in self.pm.providers and self.pm.providers[pid].available
+                and descriptor.storage_key in self.pm.providers[pid].chunks
+            ]
+            descriptor.replicas = live
+            need = self.replication - len(live)
+            if need <= 0:
+                continue
+            # Over-allocate so exclusions of already-holding providers
+            # still leave enough fresh targets.
+            placement = yield from self.pm.remote_allocate(
+                self.node, 1, min(need + len(live), self.pm.pool_size()),
+                self.client_id,
+            )
+            fresh = [p for p in placement[0] if p.provider_id not in live][:need]
+            if len(fresh) < need:
+                still_failed.append(descriptor)
+                continue
+            descriptor.replicas = live + [p.provider_id for p in fresh]
+            pushes.append(self.env.process(
+                self._push_chunk(descriptor, fresh, rate_cap, still_failed),
+                name=f"repush-{self.client_id}",
+            ))
+        if pushes:
+            yield self.env.all_of(pushes)
+        return still_failed
+
+    def _pick_replica(self, descriptor: ChunkDescriptor) -> DataProvider:
+        """Choose a live replica, uniformly at random (read balancing)."""
+        candidates = []
+        for provider_id in descriptor.replicas:
+            provider = self.pm.providers.get(provider_id)
+            if provider is not None and provider.node.alive:
+                candidates.append(provider)
+        if not candidates:
+            raise ChunkLost(descriptor.storage_key)
+        return candidates[int(self.rng.integers(0, len(candidates)))]
+
+    # -- bookkeeping -----------------------------------------------------------------
+    def _record(
+        self,
+        op: str,
+        blob_id: Optional[int],
+        size_mb: float,
+        started_at: float,
+        ok: bool = True,
+        error: Optional[str] = None,
+        version: Optional[int] = None,
+    ) -> OpResult:
+        result = OpResult(
+            op=op,
+            client_id=self.client_id,
+            blob_id=blob_id,
+            size_mb=size_mb,
+            started_at=started_at,
+            finished_at=self.env.now,
+            ok=ok,
+            error=error,
+            version=version,
+        )
+        self.history.append(result)
+        self._emit(
+            EV_OP_END, blob_id,
+            op=op, size_mb=size_mb, ok=ok,
+            duration_s=result.duration_s,
+            throughput_mbps=result.throughput_mbps,
+        )
+        return result
+
+    def _emit(self, event_type: str, blob_id: Optional[int], **fields) -> None:
+        self.sink.emit(MonitoringEvent(
+            time=self.env.now,
+            actor_type="client",
+            actor_id=self.client_id,
+            event_type=event_type,
+            client_id=self.client_id,
+            blob_id=blob_id,
+            fields=fields,
+        ))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<BlobSeerClient {self.client_id} on {self.node.name}>"

@@ -1,0 +1,175 @@
+"""Deployment helper: wire a full BlobSeer instance onto a testbed.
+
+Builds the five-actor architecture of the paper (§III-A) — data
+providers, metadata providers, provider manager, version manager,
+clients — on simulated physical nodes, with one shared instrumentation
+sink and one shared access controller.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..cluster.testbed import Testbed, TestbedConfig
+from .access import AccessController, AccessTable, AllowAll
+from .allocation import make_strategy
+from .client import BlobSeerClient
+from .instrument import CompositeSink, EventSink, NullSink
+from .metadata import MetadataProvider
+from .provider import DataProvider
+from .provider_manager import ProviderManager
+from .segment_tree import DEFAULT_CAPACITY
+from .version_manager import VersionManager
+
+__all__ = ["BlobSeerConfig", "BlobSeerDeployment"]
+
+
+@dataclass
+class BlobSeerConfig:
+    """Shape of a BlobSeer deployment."""
+
+    data_providers: int = 20
+    metadata_providers: int = 4
+    replication: int = 1
+    allocation: str = "round_robin"
+    chunk_size_mb: float = 64.0
+    provider_disk_mb: float = 200_000.0
+    provider_disk_rate_mbps: float = 120.0
+    provider_disk_overhead_s: float = 0.003
+    #: The version manager runs single-threaded (it is a serialization
+    #: service); its per-RPC CPU time is the knob that makes it a DoS
+    #: chokepoint.
+    vm_cores: int = 1
+    vm_op_cpu_s: float = 0.003
+    tree_capacity: int = DEFAULT_CAPACITY
+    testbed: TestbedConfig = field(default_factory=TestbedConfig)
+
+
+class BlobSeerDeployment:
+    """A running BlobSeer instance on a simulated testbed."""
+
+    def __init__(
+        self,
+        config: Optional[BlobSeerConfig] = None,
+        sink: Optional[EventSink] = None,
+        access: Optional[AccessController] = None,
+        testbed: Optional[Testbed] = None,
+    ) -> None:
+        self.config = config or BlobSeerConfig()
+        self.testbed = testbed or Testbed(self.config.testbed)
+        self.env = self.testbed.env
+        self.net = self.testbed.net
+        self.rng = self.testbed.rng
+        #: CompositeSink so monitoring layers can attach later.
+        self.sink = CompositeSink()
+        if sink is not None:
+            self.sink.add(sink)
+        self.access: AccessController = access or AllowAll()
+        self._provider_seq = itertools.count(self.config.data_providers)
+        #: actor id -> physical node; used by the monitoring layer to
+        #: source monitoring traffic from the right machines.
+        self.actor_nodes: Dict[str, "PhysicalNode"] = {}
+
+        # -- management actors -------------------------------------------------
+        vm_node = self.testbed.add_node("vm-node", cores=self.config.vm_cores)
+        self.vmanager = VersionManager(
+            vm_node, sink=self.sink,
+            op_cpu_s=self.config.vm_op_cpu_s,
+            tree_capacity=self.config.tree_capacity,
+        )
+        self.actor_nodes["vm"] = vm_node
+        pm_node = self.testbed.add_node("pm-node")
+        self.actor_nodes["pm"] = pm_node
+        strategy = make_strategy(
+            self.config.allocation, self.rng.stream("allocation")
+        )
+        self.pmanager = ProviderManager(pm_node, strategy=strategy, sink=self.sink)
+
+        # -- metadata providers ---------------------------------------------------
+        self.metadata_providers: List[MetadataProvider] = []
+        for i in range(self.config.metadata_providers):
+            node = self.testbed.add_node(f"meta-node-{i}")
+            self.metadata_providers.append(
+                MetadataProvider(node, f"meta-{i}", sink=self.sink)
+            )
+            self.actor_nodes[f"meta-{i}"] = node
+
+        # -- data providers ----------------------------------------------------------
+        self.providers: Dict[str, DataProvider] = {}
+        for i in range(self.config.data_providers):
+            self._spawn_provider(f"provider-{i}")
+
+        self.clients: Dict[str, BlobSeerClient] = {}
+
+    # -- provider pool (used by the elasticity controller too) --------------------
+    def _spawn_provider(self, provider_id: str) -> DataProvider:
+        node = self.testbed.add_node(
+            f"{provider_id}-node", disk_mb=self.config.provider_disk_mb
+        )
+        provider = DataProvider(
+            node, provider_id, sink=self.sink,
+            disk_rate_mbps=self.config.provider_disk_rate_mbps,
+            disk_overhead_s=self.config.provider_disk_overhead_s,
+        )
+        self.providers[provider_id] = provider
+        self.actor_nodes[provider_id] = node
+        self.pmanager.register(provider)
+        return provider
+
+    def add_provider(self) -> DataProvider:
+        """Dynamically deploy one more data provider (self-configuration)."""
+        provider_id = f"provider-{next(self._provider_seq)}"
+        return self._spawn_provider(provider_id)
+
+    def retire_provider(self, provider_id: str) -> DataProvider:
+        """Stop allocating onto a provider; chunks must be migrated first
+        (see ``repro.adaptation.replication_manager.migrate_chunks``)."""
+        provider = self.providers[provider_id]
+        provider.decommission()
+        self.pmanager.deregister(provider_id)
+        return provider
+
+    # -- clients ------------------------------------------------------------------
+    def new_client(
+        self,
+        client_id: str,
+        replication: Optional[int] = None,
+        site: Optional[str] = None,
+    ) -> BlobSeerClient:
+        """Deploy a client on a fresh node of its own."""
+        if client_id in self.clients:
+            raise ValueError(f"duplicate client id {client_id!r}")
+        node = self.testbed.add_node(f"{client_id}-node", site=site)
+        client = BlobSeerClient(
+            node,
+            client_id,
+            pmanager=self.pmanager,
+            vmanager=self.vmanager,
+            metadata_providers=self.metadata_providers,
+            sink=self.sink,
+            access=self.access,
+            replication=replication or self.config.replication,
+            rng=self.rng.stream(f"client:{client_id}"),
+        )
+        self.clients[client_id] = client
+        self.actor_nodes[client_id] = node
+        return client
+
+    # -- convenience -----------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def run(self, until=None):
+        return self.env.run(until=until)
+
+    def storage_stats(self) -> dict:
+        return self.pmanager.pool_stats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<BlobSeerDeployment providers={len(self.providers)} "
+            f"meta={len(self.metadata_providers)} clients={len(self.clients)}>"
+        )

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the BlobSeer substrate."""
+
+from __future__ import annotations
+
+__all__ = [
+    "BlobSeerError",
+    "BlobNotFound",
+    "VersionNotFound",
+    "RangeError",
+    "AccessDenied",
+    "NoProvidersAvailable",
+    "ChunkLost",
+]
+
+
+class BlobSeerError(Exception):
+    """Base class for all BlobSeer-level failures."""
+
+
+class BlobNotFound(BlobSeerError):
+    def __init__(self, blob_id: int) -> None:
+        super().__init__(f"unknown blob {blob_id}")
+        self.blob_id = blob_id
+
+
+class VersionNotFound(BlobSeerError):
+    def __init__(self, blob_id: int, version: int) -> None:
+        super().__init__(f"blob {blob_id} has no published version {version}")
+        self.blob_id = blob_id
+        self.version = version
+
+
+class RangeError(BlobSeerError):
+    """Offset/size outside the blob or not chunk-aligned."""
+
+
+class AccessDenied(BlobSeerError):
+    """The access controller (self-protection layer) rejected the caller."""
+
+    def __init__(self, client_id: str, operation: str, reason: str = "") -> None:
+        super().__init__(
+            f"client {client_id!r} denied {operation}" + (f": {reason}" if reason else "")
+        )
+        self.client_id = client_id
+        self.operation = operation
+        self.reason = reason
+
+
+class NoProvidersAvailable(BlobSeerError):
+    """The provider manager has no live data providers to allocate on."""
+
+
+class ChunkLost(BlobSeerError):
+    """All replicas of a chunk are on dead providers."""
+
+    def __init__(self, chunk_key: str) -> None:
+        super().__init__(f"all replicas lost for chunk {chunk_key}")
+        self.chunk_key = chunk_key

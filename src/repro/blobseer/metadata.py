@@ -1,0 +1,144 @@
+"""Distributed metadata providers.
+
+BlobSeer stores version metadata (the copy-on-write segment trees of
+``repro.blobseer.segment_tree``) on a set of *metadata providers* — small
+key-value stores spread over the cluster, with keys hash-partitioned
+across them.  Remote accesses are modelled as small network transfers.
+
+Two implementations of the ``KVStore`` generator interface exist:
+
+- :class:`LocalKV` — in-process dict, zero cost; used in unit tests and
+  as the version manager's private store;
+- :class:`MetadataStore` — client-side view that routes each key to its
+  :class:`MetadataProvider` over the network.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Optional, Protocol
+
+from ..cluster.node import NodeDownError, PhysicalNode
+from ..simulation.network import FlowNetwork
+from .instrument import EventSink, MonitoringEvent, NullSink
+from .rpc import CONTROL_MSG_MB
+
+__all__ = ["KVStore", "LocalKV", "MetadataProvider", "MetadataStore"]
+
+
+class KVStore(Protocol):
+    """Generator-based key-value interface used by the segment tree."""
+
+    def get(self, key: str):  # pragma: no cover - protocol
+        """Generator returning the value or None."""
+        ...
+
+    def put(self, key: str, value: Any):  # pragma: no cover - protocol
+        """Generator storing the value."""
+        ...
+
+
+class LocalKV:
+    """In-process KV store satisfying the generator interface at no cost."""
+
+    def __init__(self) -> None:
+        self.data: Dict[str, Any] = {}
+
+    def get(self, key: str):
+        return self.data.get(key)
+        yield  # pragma: no cover - makes this a generator
+
+    def put(self, key: str, value: Any):
+        self.data[key] = value
+        return None
+        yield  # pragma: no cover - makes this a generator
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.data
+
+
+class MetadataProvider:
+    """One metadata server holding a shard of the key space."""
+
+    def __init__(
+        self,
+        node: PhysicalNode,
+        provider_id: str,
+        sink: Optional[EventSink] = None,
+    ) -> None:
+        self.node = node
+        self.provider_id = provider_id
+        self.sink = sink or NullSink()
+        self.store: Dict[str, Any] = {}
+        #: Counters surfaced to the introspection layer.
+        self.gets = 0
+        self.puts = 0
+
+    @property
+    def env(self):
+        return self.node.env
+
+    def local_get(self, key: str) -> Any:
+        self.gets += 1
+        return self.store.get(key)
+
+    def local_put(self, key: str, value: Any) -> None:
+        self.puts += 1
+        self.store[key] = value
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<MetadataProvider {self.provider_id} keys={len(self.store)}>"
+
+
+def _shard_of(key: str, count: int) -> int:
+    digest = hashlib.md5(key.encode()).digest()
+    return int.from_bytes(digest[:4], "little") % count
+
+
+class MetadataStore:
+    """Client-side router: hashes keys across the metadata providers.
+
+    One instance per client (it needs the client's node to source the
+    network messages from).
+    """
+
+    def __init__(
+        self,
+        net: FlowNetwork,
+        client_node: PhysicalNode,
+        providers: List[MetadataProvider],
+        message_mb: float = CONTROL_MSG_MB,
+    ) -> None:
+        if not providers:
+            raise ValueError("need at least one metadata provider")
+        self.net = net
+        self.client_node = client_node
+        self.providers = providers
+        self.message_mb = message_mb
+
+    def _provider_for(self, key: str) -> MetadataProvider:
+        return self.providers[_shard_of(key, len(self.providers))]
+
+    def get(self, key: str):
+        provider = self._provider_for(key)
+        if not provider.node.alive:
+            raise NodeDownError(provider.node, f"metadata get {key}")
+        yield self.net.transfer(self.client_node.name, provider.node.name, self.message_mb)
+        value = provider.local_get(key)
+        yield self.net.transfer(provider.node.name, self.client_node.name, self.message_mb)
+        return value
+
+    def put(self, key: str, value: Any):
+        provider = self._provider_for(key)
+        if not provider.node.alive:
+            raise NodeDownError(provider.node, f"metadata put {key}")
+        yield self.net.transfer(self.client_node.name, provider.node.name, self.message_mb)
+        provider.local_put(key, value)
+        yield self.net.transfer(provider.node.name, self.client_node.name, self.message_mb)
+        return None

@@ -1,0 +1,151 @@
+"""The provider manager: provider membership + chunk allocation.
+
+"The provider manager keeps track of the existing data providers and
+implements the allocation strategies that map new chunks to available
+data providers." (paper §III-A)
+
+It is also the join/leave point used by the elasticity controller
+(self-configuration): dynamically deployed providers register here and
+drained providers deregister.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..cluster.node import NodeDownError, PhysicalNode
+from .allocation import AllocationStrategy, RoundRobinAllocation
+from .errors import NoProvidersAvailable
+from .instrument import (
+    EV_ALLOCATION,
+    EV_PROVIDER_JOIN,
+    EV_PROVIDER_LEAVE,
+    EventSink,
+    MonitoringEvent,
+    NullSink,
+)
+from .provider import DataProvider
+from .rpc import CONTROL_MSG_MB
+
+__all__ = ["ProviderManager"]
+
+
+class ProviderManager:
+    """Membership registry + allocation service."""
+
+    def __init__(
+        self,
+        node: PhysicalNode,
+        strategy: Optional[AllocationStrategy] = None,
+        sink: Optional[EventSink] = None,
+        allocation_cpu_s: float = 0.0001,
+    ) -> None:
+        self.node = node
+        self.strategy = strategy or RoundRobinAllocation()
+        self.sink = sink or NullSink()
+        self.allocation_cpu_s = allocation_cpu_s
+        self.providers: Dict[str, DataProvider] = {}
+        self.allocations = 0
+
+    @property
+    def env(self):
+        return self.node.env
+
+    @property
+    def net(self):
+        return self.node.network
+
+    # -- membership -----------------------------------------------------------
+    def register(self, provider: DataProvider) -> None:
+        """Add a provider to the pool (join)."""
+        self.providers[provider.provider_id] = provider
+        provider.node.on_fail(lambda _n, pid=provider.provider_id: self._on_provider_fail(pid))
+        self._emit(EV_PROVIDER_JOIN, provider_id=provider.provider_id,
+                   pool_size=len(self.active_providers()))
+
+    def deregister(self, provider_id: str) -> Optional[DataProvider]:
+        """Remove a provider from the pool (leave/drain)."""
+        provider = self.providers.pop(provider_id, None)
+        if provider is not None:
+            self._emit(EV_PROVIDER_LEAVE, provider_id=provider_id,
+                       pool_size=len(self.active_providers()))
+        return provider
+
+    def _on_provider_fail(self, provider_id: str) -> None:
+        if provider_id in self.providers:
+            self._emit(EV_PROVIDER_LEAVE, provider_id=provider_id, crashed=True,
+                       pool_size=len(self.active_providers()))
+
+    def active_providers(self) -> List[DataProvider]:
+        return [p for p in self.providers.values() if p.available]
+
+    def provider(self, provider_id: str) -> DataProvider:
+        return self.providers[provider_id]
+
+    def pool_size(self) -> int:
+        return len(self.active_providers())
+
+    # -- allocation (local + remote) ------------------------------------------
+    def allocate(
+        self,
+        chunk_count: int,
+        replication: int = 1,
+        client_id: Optional[str] = None,
+    ) -> List[List[DataProvider]]:
+        """Pick replica sets for *chunk_count* chunks (no network cost)."""
+        if chunk_count <= 0:
+            raise ValueError("chunk_count must be positive")
+        if replication <= 0:
+            raise ValueError("replication must be positive")
+        active = self.active_providers()
+        if not active:
+            raise NoProvidersAvailable("provider pool is empty")
+        placement = self.strategy.select(active, chunk_count, replication)
+        self.allocations += 1
+        self._emit(
+            EV_ALLOCATION,
+            client_id=client_id,
+            chunk_count=chunk_count,
+            replication=replication,
+            strategy=self.strategy.name,
+        )
+        return placement
+
+    def remote_allocate(
+        self,
+        caller: PhysicalNode,
+        chunk_count: int,
+        replication: int = 1,
+        client_id: Optional[str] = None,
+    ):
+        """Generator: the client-visible allocation RPC (adds network cost)."""
+        if not self.node.alive:
+            raise NodeDownError(self.node, "allocate")
+        yield self.net.transfer(caller.name, self.node.name, CONTROL_MSG_MB)
+        if self.allocation_cpu_s > 0:
+            yield from self.node.compute(self.allocation_cpu_s)
+        placement = self.allocate(chunk_count, replication, client_id)
+        # The reply carries the placement map; size grows with chunk count.
+        reply_mb = CONTROL_MSG_MB * max(1, chunk_count // 16)
+        yield self.net.transfer(self.node.name, caller.name, reply_mb)
+        return placement
+
+    # -- introspection ----------------------------------------------------------
+    def pool_stats(self) -> dict:
+        active = self.active_providers()
+        return {
+            "pool_size": len(active),
+            "total_stored_mb": sum(p.stored_mb for p in active),
+            "total_free_mb": sum(p.free_mb for p in active),
+            "chunk_count": sum(len(p.chunks) for p in active),
+        }
+
+    def _emit(self, event_type: str, client_id: Optional[str] = None, **fields) -> None:
+        self.sink.emit(MonitoringEvent(
+            time=self.env.now,
+            actor_type="pmanager",
+            actor_id="pm",
+            event_type=event_type,
+            client_id=client_id,
+            fields=fields,
+        ))

@@ -1,0 +1,188 @@
+"""Copy-on-write segment-tree metadata, as in BlobSeer.
+
+Each BLOB version is described by a binary tree over chunk indices
+``[0, capacity)``.  Writing version *v* over chunk range ``[a, b)``
+creates new tree nodes only along the paths covering that range; subtrees
+untouched by the write are *shared* with the previous version by storing
+the version stamp at which each child was last written.  This yields
+O(span + log capacity) metadata writes per update and lets any number of
+readers traverse old versions concurrently with writers — the property
+BlobSeer's heavy-concurrency results rest on.
+
+Node encoding in the KV store (see :mod:`repro.blobseer.metadata`):
+
+- internal node at ``(blob, v, lo, hi)`` → ``("node", left_stamp, right_stamp)``
+  where a stamp is the version at which that child subtree was last
+  written, or ``None`` if never written;
+- leaf at ``(blob, v, i, i+1)`` → ``("leaf", ChunkDescriptor)``.
+
+All functions are generators so that every node access can be a real
+(simulated) network operation; run them with ``yield from`` inside a
+process, or drain them synchronously against :class:`LocalKV` in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .blob import ChunkDescriptor
+
+__all__ = [
+    "node_key",
+    "DEFAULT_CAPACITY",
+    "tree_update",
+    "tree_query",
+    "tree_node_count",
+]
+
+#: Default maximum chunks per blob (2**20 chunks; at 64 MB each = 64 TB).
+DEFAULT_CAPACITY = 1 << 20
+
+
+def node_key(blob_id: int, version: int, lo: int, hi: int) -> str:
+    """KV key of the tree node covering chunk interval [lo, hi)."""
+    return f"m:{blob_id}:{version}:{lo}:{hi}"
+
+
+def _check_capacity(capacity: int) -> None:
+    if capacity < 1 or (capacity & (capacity - 1)) != 0:
+        raise ValueError(f"capacity must be a power of two, got {capacity}")
+
+
+def tree_update(
+    kv,
+    blob_id: int,
+    version: int,
+    prev_version: Optional[int],
+    descriptors: Dict[int, ChunkDescriptor],
+    capacity: int = DEFAULT_CAPACITY,
+):
+    """Generator: write the tree nodes for *version*.
+
+    *descriptors* maps absolute chunk index → descriptor for every chunk
+    written by this version.  *prev_version* is the version whose tree
+    this one inherits from (``None`` for the first write).
+
+    Returns the number of KV puts performed.
+    """
+    _check_capacity(capacity)
+    if not descriptors:
+        raise ValueError("update with no chunks")
+    lo_w = min(descriptors)
+    hi_w = max(descriptors) + 1
+    if lo_w < 0 or hi_w > capacity:
+        raise ValueError(f"chunk range [{lo_w},{hi_w}) outside capacity {capacity}")
+    if len(descriptors) != hi_w - lo_w:
+        raise ValueError("descriptors must cover a contiguous chunk range")
+    writes = yield from _update_node(
+        kv, blob_id, version, prev_version, 0, capacity, descriptors, lo_w, hi_w
+    )
+    return writes
+
+
+def _update_node(
+    kv,
+    blob_id: int,
+    version: int,
+    prev_stamp: Optional[int],
+    lo: int,
+    hi: int,
+    descriptors: Dict[int, ChunkDescriptor],
+    lo_w: int,
+    hi_w: int,
+):
+    """Recursively write the subtree [lo, hi); returns KV put count."""
+    if hi - lo == 1:
+        descriptor = descriptors[lo]
+        yield from kv.put(node_key(blob_id, version, lo, hi), ("leaf", descriptor))
+        return 1
+
+    mid = (lo + hi) // 2
+    # Child stamps from the previous version of this node (if any).
+    # When the write covers this whole subtree both children are about to
+    # be rewritten, so the old node need not be fetched.
+    left_stamp: Optional[int] = None
+    right_stamp: Optional[int] = None
+    fully_covered = lo_w <= lo and hi <= hi_w
+    if prev_stamp is not None and not fully_covered:
+        prev = yield from kv.get(node_key(blob_id, prev_stamp, lo, hi))
+        if prev is not None:
+            _tag, left_stamp, right_stamp = prev
+
+    writes = 0
+    if lo_w < mid:  # write range intersects the left child
+        writes += yield from _update_node(
+            kv, blob_id, version, left_stamp, lo, mid,
+            descriptors, lo_w, min(hi_w, mid),
+        )
+        left_stamp = version
+    if hi_w > mid:  # intersects the right child
+        writes += yield from _update_node(
+            kv, blob_id, version, right_stamp, mid, hi,
+            descriptors, max(lo_w, mid), hi_w,
+        )
+        right_stamp = version
+
+    yield from kv.put(node_key(blob_id, version, lo, hi), ("node", left_stamp, right_stamp))
+    return writes + 1
+
+
+def tree_query(
+    kv,
+    blob_id: int,
+    version: int,
+    first: int,
+    last: int,
+    capacity: int = DEFAULT_CAPACITY,
+):
+    """Generator: fetch descriptors for chunk indices [first, last).
+
+    Returns ``{index: ChunkDescriptor}``; indices never written are
+    absent (holes read as unwritten data, like sparse files).
+    """
+    _check_capacity(capacity)
+    if not 0 <= first < last <= capacity:
+        raise ValueError(f"query range [{first},{last}) outside [0,{capacity})")
+    result: Dict[int, ChunkDescriptor] = {}
+    yield from _query_node(kv, blob_id, version, 0, capacity, first, last, result)
+    return result
+
+
+def _query_node(
+    kv,
+    blob_id: int,
+    stamp: int,
+    lo: int,
+    hi: int,
+    first: int,
+    last: int,
+    result: Dict[int, ChunkDescriptor],
+):
+    node = yield from kv.get(node_key(blob_id, stamp, lo, hi))
+    if node is None:
+        return  # unwritten subtree: hole
+    if node[0] == "leaf":
+        result[lo] = node[1]
+        return
+    _tag, left_stamp, right_stamp = node
+    mid = (lo + hi) // 2
+    if first < mid and left_stamp is not None:
+        yield from _query_node(
+            kv, blob_id, left_stamp, lo, mid, first, min(last, mid), result
+        )
+    if last > mid and right_stamp is not None:
+        yield from _query_node(
+            kv, blob_id, right_stamp, mid, hi, max(first, mid), last, result
+        )
+
+
+def tree_node_count(span: int, capacity: int = DEFAULT_CAPACITY) -> int:
+    """Upper bound on KV puts for an update covering *span* chunks.
+
+    Used by capacity planning in the elasticity controller: an update
+    touches at most ``2*span`` leaf-side nodes plus the two boundary
+    paths to the root.
+    """
+    _check_capacity(capacity)
+    depth = capacity.bit_length() - 1
+    return 2 * span + 2 * depth

@@ -1,0 +1,34 @@
+"""Cloud storage gateway: S3-compatible interface (Cumulus-style) over
+the BlobSeer back end."""
+
+from .cumulus import CumulusGateway
+from .s3_api import (
+    Bucket,
+    BucketACL,
+    BucketAlreadyExists,
+    BucketNotEmpty,
+    InvalidPart,
+    MultipartUpload,
+    NoSuchBucket,
+    NoSuchKey,
+    Permission,
+    S3AccessDenied,
+    S3Error,
+    S3Object,
+)
+
+__all__ = [
+    "CumulusGateway",
+    "S3Error",
+    "NoSuchBucket",
+    "NoSuchKey",
+    "BucketAlreadyExists",
+    "BucketNotEmpty",
+    "S3AccessDenied",
+    "InvalidPart",
+    "Permission",
+    "BucketACL",
+    "Bucket",
+    "S3Object",
+    "MultipartUpload",
+]

@@ -1,0 +1,146 @@
+"""S3-compatible storage interface (the "de facto standard", paper §II).
+
+Defines the data model and errors of an Amazon-S3-style object store:
+buckets, objects, listings, multipart uploads, and per-bucket ACLs.
+:mod:`repro.cloud.cumulus` implements this interface over the BlobSeer
+back end, mirroring the Nimbus/Cumulus integration of paper §V.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "S3Error",
+    "NoSuchBucket",
+    "NoSuchKey",
+    "BucketAlreadyExists",
+    "BucketNotEmpty",
+    "S3AccessDenied",
+    "InvalidPart",
+    "Permission",
+    "BucketACL",
+    "S3Object",
+    "Bucket",
+    "MultipartUpload",
+]
+
+
+class S3Error(Exception):
+    """Base class for S3-level failures (maps to S3 error codes)."""
+
+    code = "InternalError"
+
+
+class NoSuchBucket(S3Error):
+    code = "NoSuchBucket"
+
+    def __init__(self, bucket: str) -> None:
+        super().__init__(f"bucket {bucket!r} does not exist")
+        self.bucket = bucket
+
+
+class NoSuchKey(S3Error):
+    code = "NoSuchKey"
+
+    def __init__(self, bucket: str, key: str) -> None:
+        super().__init__(f"key {key!r} not found in bucket {bucket!r}")
+        self.bucket = bucket
+        self.key = key
+
+
+class BucketAlreadyExists(S3Error):
+    code = "BucketAlreadyExists"
+
+
+class BucketNotEmpty(S3Error):
+    code = "BucketNotEmpty"
+
+
+class S3AccessDenied(S3Error):
+    code = "AccessDenied"
+
+    def __init__(self, user: str, action: str, resource: str) -> None:
+        super().__init__(f"{user!r} may not {action} on {resource!r}")
+        self.user = user
+        self.action = action
+
+
+class InvalidPart(S3Error):
+    code = "InvalidPart"
+
+
+class Permission(enum.Flag):
+    NONE = 0
+    READ = enum.auto()
+    WRITE = enum.auto()
+    FULL = READ | WRITE
+
+
+@dataclass
+class BucketACL:
+    """Owner + per-user grants, as in S3 canned ACLs."""
+
+    owner: str
+    grants: Dict[str, Permission] = field(default_factory=dict)
+    public_read: bool = False
+
+    def allows(self, user: str, permission: Permission) -> bool:
+        if user == self.owner:
+            return True
+        if permission is Permission.READ and self.public_read:
+            return True
+        return bool(self.grants.get(user, Permission.NONE) & permission)
+
+    def grant(self, user: str, permission: Permission) -> None:
+        self.grants[user] = self.grants.get(user, Permission.NONE) | permission
+
+
+@dataclass
+class S3Object:
+    """Catalog entry for one stored object."""
+
+    key: str
+    size_mb: float
+    blob_id: int
+    version: int
+    etag: str
+    created_at: float
+    owner: str
+    content_type: str = "application/octet-stream"
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class Bucket:
+    name: str
+    acl: BucketACL
+    created_at: float
+    objects: Dict[str, S3Object] = field(default_factory=dict)
+
+    def list_keys(self, prefix: str = "", max_keys: int = 1000) -> List[str]:
+        keys = sorted(k for k in self.objects if k.startswith(prefix))
+        return keys[:max_keys]
+
+
+@dataclass
+class MultipartUpload:
+    """An in-progress multipart upload (parts staged at the gateway)."""
+
+    upload_id: str
+    bucket: str
+    key: str
+    owner: str
+    started_at: float
+    parts: Dict[int, float] = field(default_factory=dict)  # part number -> MB
+
+    def total_size_mb(self) -> float:
+        return sum(self.parts.values())
+
+
+def make_etag(*parts: object) -> str:
+    """Deterministic ETag from object identity (no real payloads exist)."""
+    return hashlib.md5(":".join(str(p) for p in parts).encode()).hexdigest()

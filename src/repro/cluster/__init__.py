@@ -1,0 +1,14 @@
+"""Simulated cluster substrate: physical nodes, testbed topology, faults."""
+
+from .faults import FaultEvent, FaultInjector
+from .node import NodeDownError, PhysicalNode
+from .testbed import Testbed, TestbedConfig
+
+__all__ = [
+    "PhysicalNode",
+    "NodeDownError",
+    "Testbed",
+    "TestbedConfig",
+    "FaultInjector",
+    "FaultEvent",
+]

@@ -1,0 +1,103 @@
+"""Failure injection for availability experiments.
+
+Used by the self-optimization (replication) benches: crash storage nodes
+on a schedule or stochastically and optionally recover them later, so the
+replication manager's repair behaviour can be measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .node import PhysicalNode
+from .testbed import Testbed
+
+__all__ = ["FaultEvent", "FaultInjector"]
+
+
+@dataclass
+class FaultEvent:
+    """Record of one injected fault (for post-run analysis)."""
+
+    time: float
+    node: str
+    kind: str  # "crash" | "recover"
+
+
+class FaultInjector:
+    """Schedules node crashes/recoveries inside a testbed."""
+
+    def __init__(self, testbed: Testbed, stream: str = "faults") -> None:
+        self.testbed = testbed
+        self.env = testbed.env
+        self.rng = testbed.rng.stream(stream)
+        self.log: List[FaultEvent] = []
+
+    # -- deterministic schedules -------------------------------------------------
+    def crash_at(self, node: PhysicalNode, at: float, recover_after: Optional[float] = None) -> None:
+        """Crash *node* at absolute time *at*; optionally recover later."""
+        self.env.process(self._crash_process(node, at, recover_after), name=f"fault-{node.name}")
+
+    def _crash_process(self, node: PhysicalNode, at: float, recover_after: Optional[float]):
+        delay = at - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        if node.alive:
+            node.fail()
+            self.log.append(FaultEvent(self.env.now, node.name, "crash"))
+        if recover_after is not None:
+            yield self.env.timeout(recover_after)
+            if not node.alive:
+                node.recover()
+                self.log.append(FaultEvent(self.env.now, node.name, "recover"))
+
+    # -- stochastic failures ---------------------------------------------------
+    def poisson_crashes(
+        self,
+        candidates: Sequence[PhysicalNode],
+        rate_per_second: float,
+        stop_at: float,
+        recover_after: Optional[float] = None,
+        max_crashes: Optional[int] = None,
+    ) -> None:
+        """Crash random candidates as a Poisson process until *stop_at*."""
+        self.env.process(
+            self._poisson_process(list(candidates), rate_per_second, stop_at, recover_after, max_crashes),
+            name="fault-poisson",
+        )
+
+    def _poisson_process(self, candidates, rate, stop_at, recover_after, max_crashes):
+        crashes = 0
+        while self.env.now < stop_at:
+            if max_crashes is not None and crashes >= max_crashes:
+                return
+            wait = float(self.rng.exponential(1.0 / rate))
+            if self.env.now + wait > stop_at:
+                return
+            yield self.env.timeout(wait)
+            alive = [n for n in candidates if n.alive]
+            if not alive:
+                return
+            victim = alive[int(self.rng.integers(0, len(alive)))]
+            victim.fail()
+            crashes += 1
+            self.log.append(FaultEvent(self.env.now, victim.name, "crash"))
+            if recover_after is not None:
+                self.crash_recovery_later(victim, recover_after)
+
+    def crash_recovery_later(self, node: PhysicalNode, delay: float) -> None:
+        def _recover():
+            yield self.env.timeout(delay)
+            if not node.alive:
+                node.recover()
+                self.log.append(FaultEvent(self.env.now, node.name, "recover"))
+
+        self.env.process(_recover(), name=f"recover-{node.name}")
+
+    # -- reporting ----------------------------------------------------------------
+    def crash_count(self) -> int:
+        return sum(1 for e in self.log if e.kind == "crash")
+
+    def recovery_count(self) -> int:
+        return sum(1 for e in self.log if e.kind == "recover")

@@ -1,0 +1,15 @@
+"""Introspection layer: high-level aggregated system state + visualization."""
+
+from .aggregator import BlobAccessStats, ClientActivity, IntrospectionLayer
+from .visualization import Dashboard, bar_chart, series_to_csv, sparkline, table
+
+__all__ = [
+    "IntrospectionLayer",
+    "ClientActivity",
+    "BlobAccessStats",
+    "Dashboard",
+    "sparkline",
+    "bar_chart",
+    "table",
+    "series_to_csv",
+]

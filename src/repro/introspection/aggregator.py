@@ -1,0 +1,278 @@
+"""Introspection layer: turns raw monitoring records into high-level data.
+
+"The introspection layer processes the data received from the monitoring
+layer ... to identify and generate relevant information related to the
+state and the behavior of the system, which can be fed as input to
+various higher-level self-* components." (paper §III-B)
+
+Everything here is a *query* over the storage repository: the same
+records feed the visualization tool (§IV-A), the security framework's
+user-activity history (§III-C), and the adaptation engines (§V).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..blobseer.instrument import (
+    EV_CHUNK_DELETE,
+    EV_CHUNK_READ,
+    EV_CHUNK_WRITE,
+    EV_NODE_PHYSICAL,
+    EV_OP_END,
+    EV_OP_START,
+    EV_STORAGE_LEVEL,
+    MonitoringEvent,
+)
+from ..monitoring.repository import StorageRepository
+
+__all__ = ["ClientActivity", "BlobAccessStats", "IntrospectionLayer"]
+
+Series = List[Tuple[float, float]]
+
+
+@dataclass
+class ClientActivity:
+    """Aggregated behaviour of one client over a time window."""
+
+    client_id: str
+    window: Tuple[float, float]
+    ops_started: int = 0
+    ops_finished: int = 0
+    writes: int = 0
+    reads: int = 0
+    bytes_written_mb: float = 0.0
+    bytes_read_mb: float = 0.0
+    failed_ops: int = 0
+
+    @property
+    def request_rate(self) -> float:
+        """Operations started per second within the window."""
+        span = self.window[1] - self.window[0]
+        return self.ops_started / span if span > 0 else 0.0
+
+    @property
+    def write_rate_mbps(self) -> float:
+        span = self.window[1] - self.window[0]
+        return self.bytes_written_mb / span if span > 0 else 0.0
+
+
+@dataclass
+class BlobAccessStats:
+    """Access pattern of one BLOB."""
+
+    blob_id: int
+    chunk_writes: int = 0
+    chunk_reads: int = 0
+    bytes_written_mb: float = 0.0
+    bytes_read_mb: float = 0.0
+    versions_published: int = 0
+    readers: set = field(default_factory=set)
+    writers: set = field(default_factory=set)
+
+
+class IntrospectionLayer:
+    """Query layer over the monitoring repository."""
+
+    def __init__(self, repository: StorageRepository) -> None:
+        self.repository = repository
+
+    # -- raw access --------------------------------------------------------------
+    def records(
+        self,
+        since: float = 0.0,
+        until: float = float("inf"),
+        event_type: Optional[str] = None,
+    ) -> List[MonitoringEvent]:
+        out = []
+        for event in self.repository.all_records():
+            if event.time < since or event.time > until:
+                continue
+            if event_type is not None and event.event_type != event_type:
+                continue
+            out.append(event)
+        return out
+
+    # -- storage space (per provider and system-wide) --------------------------------
+    def storage_timeline(self, provider_id: Optional[str] = None) -> Series:
+        """(time, used_mb) samples from provider storage-level events."""
+        series = []
+        for event in self.records(event_type=EV_STORAGE_LEVEL):
+            if provider_id is not None and event.actor_id != provider_id:
+                continue
+            series.append((event.time, float(event.fields["used_mb"])))
+        return series
+
+    def provider_storage_latest(self) -> Dict[str, float]:
+        """Most recent used_mb per provider."""
+        latest: Dict[str, Tuple[float, float]] = {}
+        for event in self.records(event_type=EV_STORAGE_LEVEL):
+            current = latest.get(event.actor_id)
+            if current is None or event.time >= current[0]:
+                latest[event.actor_id] = (event.time, float(event.fields["used_mb"]))
+        return {pid: used for pid, (_t, used) in latest.items()}
+
+    def system_storage_timeline(self, bucket_s: float = 5.0) -> Series:
+        """System-wide stored MB over time (sum of last-known per provider)."""
+        events = self.records(event_type=EV_STORAGE_LEVEL)
+        if not events:
+            return []
+        horizon = max(e.time for e in events)
+        buckets = np.arange(0.0, horizon + bucket_s, bucket_s)
+        state: Dict[str, float] = {}
+        series: Series = []
+        index = 0
+        events.sort(key=lambda e: e.time)
+        for edge in buckets[1:]:
+            while index < len(events) and events[index].time <= edge:
+                state[events[index].actor_id] = float(events[index].fields["used_mb"])
+                index += 1
+            series.append((float(edge), sum(state.values())))
+        return series
+
+    # -- physical parameters -----------------------------------------------------------
+    def node_physical_timeline(self, node_name: str, metric: str) -> Series:
+        series = []
+        for event in self.records(event_type=EV_NODE_PHYSICAL):
+            if event.actor_id != node_name:
+                continue
+            series.append((event.time, float(event.fields[metric])))
+        return series
+
+    def hottest_nodes(self, metric: str = "cpu_util", top: int = 5) -> List[Tuple[str, float]]:
+        """Nodes ranked by their peak sampled value of *metric*."""
+        peaks: Dict[str, float] = defaultdict(float)
+        for event in self.records(event_type=EV_NODE_PHYSICAL):
+            value = float(event.fields.get(metric, 0.0))
+            peaks[event.actor_id] = max(peaks[event.actor_id], value)
+        ranked = sorted(peaks.items(), key=lambda kv: -kv[1])
+        return ranked[:top]
+
+    # -- BLOB access patterns ------------------------------------------------------------
+    def blob_access_stats(self, since: float = 0.0) -> Dict[int, BlobAccessStats]:
+        stats: Dict[int, BlobAccessStats] = {}
+        for event in self.records(since=since):
+            if event.blob_id is None:
+                continue
+            entry = stats.setdefault(event.blob_id, BlobAccessStats(event.blob_id))
+            size = float(event.fields.get("size_mb", 0.0))
+            if event.event_type == EV_CHUNK_WRITE:
+                entry.chunk_writes += int(event.fields.get("count", 1))
+                entry.bytes_written_mb += size
+                if event.client_id:
+                    entry.writers.add(event.client_id)
+            elif event.event_type == EV_CHUNK_READ:
+                entry.chunk_reads += int(event.fields.get("count", 1))
+                entry.bytes_read_mb += size
+                if event.client_id:
+                    entry.readers.add(event.client_id)
+            elif event.event_type == "publish":
+                entry.versions_published += 1
+        return stats
+
+    def blob_distribution(self) -> Dict[int, Dict[str, int]]:
+        """blob -> provider -> live chunk count (from write/delete events)."""
+        distribution: Dict[int, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        for event in self.records():
+            if event.blob_id is None:
+                continue
+            if event.event_type == EV_CHUNK_WRITE:
+                distribution[event.blob_id][event.actor_id] += int(
+                    event.fields.get("count", 1)
+                )
+            elif event.event_type == EV_CHUNK_DELETE:
+                distribution[event.blob_id][event.actor_id] -= int(
+                    event.fields.get("count", 1)
+                )
+        return {b: dict(p) for b, p in distribution.items()}
+
+    # -- client activity (feeds the security framework) -----------------------------------
+    def client_activity(
+        self,
+        since: float,
+        until: float,
+        clients: Optional[Sequence[str]] = None,
+    ) -> Dict[str, ClientActivity]:
+        """Per-client behaviour within [since, until]."""
+        wanted = set(clients) if clients is not None else None
+        activity: Dict[str, ClientActivity] = {}
+
+        def entry(client_id: str) -> ClientActivity:
+            return activity.setdefault(
+                client_id, ClientActivity(client_id, (since, until))
+            )
+
+        for event in self.records(since=since, until=until):
+            client_id = event.client_id
+            if client_id is None:
+                continue
+            if wanted is not None and client_id not in wanted:
+                continue
+            record = entry(client_id)
+            size = float(event.fields.get("size_mb", 0.0))
+            count = int(event.fields.get("count", 1))
+            if event.event_type == EV_OP_START:
+                record.ops_started += 1
+            elif event.event_type == EV_OP_END:
+                record.ops_finished += 1
+                if not event.fields.get("ok", True):
+                    record.failed_ops += 1
+            elif event.event_type == EV_CHUNK_WRITE:
+                record.writes += count
+                record.bytes_written_mb += size
+            elif event.event_type == EV_CHUNK_READ:
+                record.reads += count
+                record.bytes_read_mb += size
+        return activity
+
+    # -- throughput (the headline series of §IV-C) ----------------------------------------
+    def throughput_timeline(
+        self,
+        bucket_s: float = 5.0,
+        clients: Optional[Sequence[str]] = None,
+        op: Optional[str] = None,
+    ) -> Series:
+        """Average per-client application throughput per time bucket.
+
+        Computed from op_end events: each finished operation contributes
+        its bytes to the bucket(s) it spans, then each bucket's total is
+        divided by the number of distinct active clients — matching the
+        paper's "average throughput of concurrent clients" metric.
+        """
+        wanted = set(clients) if clients is not None else None
+        ops = []
+        for event in self.records(event_type=EV_OP_END):
+            if not event.fields.get("ok", True):
+                continue
+            if wanted is not None and event.client_id not in wanted:
+                continue
+            if op is not None and event.fields.get("op") != op:
+                continue
+            duration = float(event.fields.get("duration_s", 0.0))
+            size = float(event.fields.get("size_mb", 0.0))
+            if duration <= 0 or size <= 0:
+                continue
+            ops.append((event.time - duration, event.time, size, event.client_id))
+        if not ops:
+            return []
+        horizon = max(end for _s, end, _z, _c in ops)
+        edges = np.arange(0.0, horizon + bucket_s, bucket_s)
+        series: Series = []
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            total = 0.0
+            active = set()
+            for start, end, size, client_id in ops:
+                overlap = min(end, hi) - max(start, lo)
+                if overlap <= 0:
+                    continue
+                total += size * overlap / (end - start)
+                active.add(client_id)
+            if active:
+                series.append((float(hi), total / bucket_s / len(active)))
+            else:
+                series.append((float(hi), 0.0))
+        return series

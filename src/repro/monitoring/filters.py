@@ -1,0 +1,142 @@
+"""Data filters applied at the monitoring services.
+
+The paper's introspection layer "implement[s] a set of data filters at
+the level of the monitoring services to aggregate the BlobSeer-specific
+data".  Filters transform batches of raw instrumentation events before
+they are persisted to the storage repository.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Protocol, Sequence, Set
+
+from ..blobseer.instrument import MonitoringEvent
+
+__all__ = [
+    "DataFilter",
+    "TypeFilter",
+    "SamplingFilter",
+    "RateLimitFilter",
+    "WindowAggregateFilter",
+    "FilterChain",
+]
+
+
+class DataFilter(Protocol):
+    """Batch-in, batch-out transformation."""
+
+    def apply(self, events: Sequence[MonitoringEvent]) -> List[MonitoringEvent]:
+        ...  # pragma: no cover - protocol
+
+
+class TypeFilter:
+    """Keep only an allow-list of event types."""
+
+    def __init__(self, allowed: Iterable[str]) -> None:
+        self.allowed: Set[str] = set(allowed)
+
+    def apply(self, events: Sequence[MonitoringEvent]) -> List[MonitoringEvent]:
+        return [e for e in events if e.event_type in self.allowed]
+
+
+class SamplingFilter:
+    """Deterministically keep one event in *every* per parameter stream.
+
+    Sampling is per parameter so that a chatty actor cannot starve a
+    quiet one out of the sample.
+    """
+
+    def __init__(self, every: int) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.every = every
+        self._counters: Dict[str, int] = {}
+
+    def apply(self, events: Sequence[MonitoringEvent]) -> List[MonitoringEvent]:
+        kept = []
+        for event in events:
+            key = event.parameter_name()
+            count = self._counters.get(key, 0)
+            if count % self.every == 0:
+                kept.append(event)
+            self._counters[key] = count + 1
+        return kept
+
+
+class RateLimitFilter:
+    """Cap the number of events per parameter per time window."""
+
+    def __init__(self, max_per_window: int, window_s: float) -> None:
+        if max_per_window < 1 or window_s <= 0:
+            raise ValueError("bad rate limit")
+        self.max_per_window = max_per_window
+        self.window_s = window_s
+        self._window_start: Dict[str, float] = {}
+        self._window_count: Dict[str, int] = {}
+
+    def apply(self, events: Sequence[MonitoringEvent]) -> List[MonitoringEvent]:
+        kept = []
+        for event in events:
+            key = event.parameter_name()
+            start = self._window_start.get(key)
+            if start is None or event.time - start >= self.window_s:
+                self._window_start[key] = event.time
+                self._window_count[key] = 0
+            if self._window_count[key] < self.max_per_window:
+                kept.append(event)
+                self._window_count[key] += 1
+        return kept
+
+
+class WindowAggregateFilter:
+    """Collapse numeric fields of same-parameter events inside a batch.
+
+    Emits one synthetic event per (parameter, client) carrying ``count``
+    and the sum of a chosen numeric field — the classic pre-aggregation
+    MonALISA filters perform to keep repository traffic bounded.
+    """
+
+    def __init__(self, event_types: Iterable[str], sum_field: str = "size_mb") -> None:
+        self.event_types = set(event_types)
+        self.sum_field = sum_field
+
+    def apply(self, events: Sequence[MonitoringEvent]) -> List[MonitoringEvent]:
+        out: List[MonitoringEvent] = []
+        groups: Dict[tuple, List[MonitoringEvent]] = {}
+        for event in events:
+            if event.event_type not in self.event_types:
+                out.append(event)
+                continue
+            groups.setdefault(
+                (event.actor_type, event.actor_id, event.event_type, event.client_id),
+                [],
+            ).append(event)
+        for (actor_type, actor_id, event_type, client_id), group in groups.items():
+            total = sum(float(e.fields.get(self.sum_field, 0.0)) for e in group)
+            out.append(MonitoringEvent(
+                time=group[-1].time,
+                actor_type=actor_type,
+                actor_id=actor_id,
+                event_type=event_type,
+                client_id=client_id,
+                blob_id=group[-1].blob_id,
+                fields={
+                    "count": len(group),
+                    self.sum_field: total,
+                    "aggregated": True,
+                },
+            ))
+        return out
+
+
+class FilterChain:
+    """Apply filters in sequence."""
+
+    def __init__(self, *filters: DataFilter) -> None:
+        self.filters = list(filters)
+
+    def apply(self, events: Sequence[MonitoringEvent]) -> List[MonitoringEvent]:
+        batch = list(events)
+        for data_filter in self.filters:
+            batch = data_filter.apply(batch)
+        return batch

@@ -1,0 +1,139 @@
+"""The introspection layer's storage back end.
+
+"We designed a flexible storage schema for the monitored parameters,
+which pass through the data filters and then are sent to a set of
+distributed storage servers.  We also built a caching mechanism for the
+storage servers, so as to enable them to cope with bursts of monitoring
+data generated when the system is under heavy load." (paper §III-B)
+
+Each storage server persists events at a bounded rate; a FIFO ingest
+buffer absorbs transient bursts.  Enabling the burst cache extends that
+buffer (backed by server memory).  When the buffer overflows, events are
+dropped and counted — ABL-4 measures exactly this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+from ..blobseer.instrument import MonitoringEvent
+from ..cluster.node import PhysicalNode
+
+__all__ = ["StorageServer", "StorageRepository"]
+
+
+class StorageServer:
+    """One monitoring-data storage server."""
+
+    def __init__(
+        self,
+        node: PhysicalNode,
+        server_id: str,
+        write_rate_eps: float = 2000.0,
+        buffer_capacity: int = 500,
+        burst_cache_capacity: int = 0,
+        cache_event_mb: float = 0.001,
+    ) -> None:
+        self.node = node
+        self.server_id = server_id
+        self.write_rate_eps = write_rate_eps
+        self.buffer_capacity = buffer_capacity
+        self.burst_cache_capacity = burst_cache_capacity
+        self.cache_event_mb = cache_event_mb
+        self.buffer: deque[MonitoringEvent] = deque()
+        #: Persisted events, indexed later by the introspection layer.
+        self.records: List[MonitoringEvent] = []
+        self.dropped = 0
+        self.cached_peak = 0
+        self._writer_running = False
+        if burst_cache_capacity > 0:
+            # Reserve server memory for the cache (visible to introspection).
+            node.memory.put(burst_cache_capacity * cache_event_mb)
+
+    @property
+    def env(self):
+        return self.node.env
+
+    @property
+    def total_capacity(self) -> int:
+        return self.buffer_capacity + self.burst_cache_capacity
+
+    def offer(self, events: Sequence[MonitoringEvent]) -> int:
+        """Enqueue a batch; returns how many were dropped."""
+        dropped = 0
+        for event in events:
+            if len(self.buffer) >= self.total_capacity:
+                dropped += 1
+                continue
+            self.buffer.append(event)
+        self.cached_peak = max(self.cached_peak, max(0, len(self.buffer) - self.buffer_capacity))
+        self.dropped += dropped
+        if self.buffer and not self._writer_running:
+            self._writer_running = True
+            self.env.process(self._drain(), name=f"repo-writer-{self.server_id}")
+        return dropped
+
+    def _drain(self):
+        """Persist buffered events at the bounded write rate."""
+        try:
+            while self.buffer and self.node.alive:
+                # Write in small batches to keep event count manageable.
+                batch_size = min(len(self.buffer), max(1, int(self.write_rate_eps * 0.1)))
+                yield self.env.timeout(batch_size / self.write_rate_eps)
+                for _ in range(min(batch_size, len(self.buffer))):
+                    self.records.append(self.buffer.popleft())
+        finally:
+            self._writer_running = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<StorageServer {self.server_id} stored={len(self.records)} "
+            f"buffered={len(self.buffer)} dropped={self.dropped}>"
+        )
+
+
+class StorageRepository:
+    """Hash-partitioned set of storage servers + a unified query view."""
+
+    def __init__(self, servers: Sequence[StorageServer]) -> None:
+        if not servers:
+            raise ValueError("need at least one storage server")
+        self.servers = list(servers)
+
+    def server_for(self, parameter_name: str) -> StorageServer:
+        digest = hashlib.md5(parameter_name.encode()).digest()
+        return self.servers[int.from_bytes(digest[:4], "little") % len(self.servers)]
+
+    def store(self, events: Sequence[MonitoringEvent]) -> int:
+        """Route events to their shard; returns number dropped."""
+        by_server: Dict[str, List[MonitoringEvent]] = {}
+        server_map = {}
+        for event in events:
+            server = self.server_for(event.parameter_name())
+            by_server.setdefault(server.server_id, []).append(event)
+            server_map[server.server_id] = server
+        dropped = 0
+        for server_id, batch in by_server.items():
+            dropped += server_map[server_id].offer(batch)
+        return dropped
+
+    # -- query API (used by introspection) -----------------------------------
+    def all_records(self) -> List[MonitoringEvent]:
+        out: List[MonitoringEvent] = []
+        for server in self.servers:
+            out.extend(server.records)
+        out.sort(key=lambda e: e.time)
+        return out
+
+    def records_since(self, t0: float) -> List[MonitoringEvent]:
+        return [e for e in self.all_records() if e.time >= t0]
+
+    @property
+    def stored_count(self) -> int:
+        return sum(len(s.records) for s in self.servers)
+
+    @property
+    def dropped_count(self) -> int:
+        return sum(s.dropped for s in self.servers)

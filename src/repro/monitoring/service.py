@@ -1,0 +1,87 @@
+"""Monitoring services: the MonALISA-equivalent gathering layer.
+
+"The monitoring layer has to handle the non-trivial task of gathering
+data coming from all the instrumented BlobSeer nodes and to make them
+available to the upper layer." (paper §III-B)
+
+Each :class:`MonitoringService` runs on its own node, receives event
+batches pushed by node agents (see :mod:`repro.monitoring.pipeline`),
+runs its filter chain, and forwards the surviving events to the storage
+repository over the network.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..blobseer.instrument import MonitoringEvent
+from ..cluster.node import PhysicalNode
+from .filters import DataFilter, FilterChain
+from .repository import StorageRepository
+
+__all__ = ["MonitoringService"]
+
+
+class MonitoringService:
+    """One gathering service of the monitoring layer."""
+
+    def __init__(
+        self,
+        node: PhysicalNode,
+        service_id: str,
+        repository: StorageRepository,
+        filters: Optional[Sequence[DataFilter]] = None,
+        per_event_cpu_s: float = 2e-6,
+        event_wire_mb: float = 0.0002,
+    ) -> None:
+        self.node = node
+        self.service_id = service_id
+        self.repository = repository
+        self.chain = FilterChain(*(filters or []))
+        self.per_event_cpu_s = per_event_cpu_s
+        self.event_wire_mb = event_wire_mb
+        self.received = 0
+        self.forwarded = 0
+
+    @property
+    def env(self):
+        return self.node.env
+
+    @property
+    def net(self):
+        return self.node.network
+
+    def ingest(self, batch: List[MonitoringEvent]):
+        """Generator: process one batch (filter, then persist).
+
+        Called from the pushing agent's process *after* the batch has
+        been transferred to this service's node.
+        """
+        if not batch or not self.node.alive:
+            return 0
+        self.received += len(batch)
+        if self.per_event_cpu_s > 0:
+            yield from self.node.compute(self.per_event_cpu_s * len(batch))
+        filtered = self.chain.apply(batch)
+        if not filtered:
+            return 0
+        # Forward to the repository shard(s) over the network: size scales
+        # with the event count.
+        by_node = {}
+        for event in filtered:
+            server = self.repository.server_for(event.parameter_name())
+            by_node.setdefault(server.node.name, []).append(event)
+        for node_name, events in by_node.items():
+            if node_name != self.node.name and node_name in self.net.nodes:
+                yield self.net.transfer(
+                    self.node.name, node_name, self.event_wire_mb * len(events)
+                )
+        self.repository.store(filtered)
+        self.forwarded += len(filtered)
+        return len(filtered)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<MonitoringService {self.service_id} received={self.received} "
+            f"forwarded={self.forwarded}>"
+        )

@@ -1,0 +1,61 @@
+"""Generic security-policy framework: definition, detection, enforcement,
+and trust management (the paper's self-protection contribution)."""
+
+from .detection import DetectionEngine, Violation
+from .enforcement import (
+    BlobSeerEnforcementTarget,
+    EnforcementTarget,
+    PolicyEnforcement,
+    Sanction,
+)
+from .framework import PolicyManagement, SecurityConfig
+from .history import IntrospectionActivitySource, UserActivityHistory, UserEvent
+from .policy import (
+    Action,
+    AndCondition,
+    ConditionNode,
+    MetricCondition,
+    NotCondition,
+    OrCondition,
+    Policy,
+    PolicyError,
+    Severity,
+    bandwidth_hog_policy,
+    dos_flood_policy,
+    failed_op_policy,
+    metadata_hammer_policy,
+    parse_condition,
+    read_flood_policy,
+)
+from .trust import TrustManager, TrustRecord
+
+__all__ = [
+    "PolicyManagement",
+    "SecurityConfig",
+    "UserEvent",
+    "UserActivityHistory",
+    "IntrospectionActivitySource",
+    "Policy",
+    "PolicyError",
+    "Severity",
+    "Action",
+    "ConditionNode",
+    "MetricCondition",
+    "AndCondition",
+    "OrCondition",
+    "NotCondition",
+    "parse_condition",
+    "dos_flood_policy",
+    "read_flood_policy",
+    "bandwidth_hog_policy",
+    "failed_op_policy",
+    "metadata_hammer_policy",
+    "DetectionEngine",
+    "Violation",
+    "PolicyEnforcement",
+    "EnforcementTarget",
+    "BlobSeerEnforcementTarget",
+    "Sanction",
+    "TrustManager",
+    "TrustRecord",
+]

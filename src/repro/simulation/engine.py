@@ -1,0 +1,156 @@
+"""The discrete-event simulation environment.
+
+:class:`Environment` owns the event heap and the simulation clock.  All
+actors in the reproduced system (BlobSeer actors, monitoring services,
+the security engine, adaptation loops, clients) run as
+:class:`~repro.simulation.process.Process` instances inside one
+environment, so a whole "deployment" is a single deterministic program.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable, Optional
+
+from .events import (
+    AllOf,
+    AnyOf,
+    Event,
+    PENDING,
+    SimulationError,
+    StopSimulation,
+    Timeout,
+)
+from .process import Process, ProcessGenerator
+
+__all__ = ["Environment"]
+
+#: Priorities for the event heap (lower pops first at equal time).
+_URGENT = 0
+_NORMAL = 1
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    Time is a ``float`` in seconds (by convention across this repo).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Event that fires *delay* seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Start a new process driving *generator*."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0, urgent: bool = False) -> None:
+        """Put a triggered event on the heap *delay* seconds from now."""
+        self._eid += 1
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, _URGENT if urgent else _NORMAL, self._eid, event),
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        try:
+            when, _prio, _eid, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise SimulationError("no more events") from None
+        if when < self._now:  # pragma: no cover - heap invariant guard
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # An unobserved failure: surface it instead of silently dropping.
+            exc = event._value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise SimulationError(f"event failed with non-exception {exc!r}")
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        *until* may be:
+
+        - ``None``: run until the heap is empty;
+        - a number: run until the clock reaches that time;
+        - an :class:`Event`: run until it is processed, returning its value.
+        """
+        stop_event: Optional[Event] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value
+            assert stop_event.callbacks is not None
+            stop_event.callbacks.append(self._stop_on)
+        else:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(
+                    f"until={horizon} is in the past (now={self._now})"
+                )
+            marker = Event(self)
+            marker._ok = True
+            marker._value = None
+            marker.callbacks.append(self._stop_on)
+            self.schedule(marker, delay=horizon - self._now, urgent=True)
+            stop_event = marker
+
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        if isinstance(until, Event) and not until.triggered:
+            raise SimulationError(
+                "run(until=event) exhausted all events before the event triggered"
+            )
+        return None
+
+    @staticmethod
+    def _stop_on(event: Event) -> None:
+        if not event._ok:
+            event.defused()
+            raise event._value
+        raise StopSimulation(event._value)

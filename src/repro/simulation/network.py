@@ -1,0 +1,429 @@
+"""Flow-level network simulation with max-min fair bandwidth sharing.
+
+Real testbeds (the paper used Grid'5000) share NIC and backbone bandwidth
+among concurrent transfers.  This module reproduces that behaviour at the
+*flow* level: each transfer is a flow constrained by the sender's uplink,
+the receiver's downlink, an optional inter-site backbone, and an optional
+per-flow rate cap.  Rates follow the classic max-min fair (water-filling)
+allocation and are recomputed on every flow arrival/departure — the
+standard approximation used by storage-system simulators, accurate for
+long-lived bulk transfers like BlobSeer chunk writes.
+
+Performance notes (this is the simulator's hot path):
+
+- rate recomputations are *batched per timestamp*: any number of flow
+  arrivals/departures at the same simulated instant trigger exactly one
+  water-filling pass;
+- the water-filling pass itself is vectorized with numpy;
+- completion timers are lightweight event callbacks, not processes.
+
+Units convention (repo-wide): sizes in **MB**, rates in **MB/s**,
+time in **seconds**.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from .engine import Environment
+from .events import Event, Timeout
+
+__all__ = ["NetNode", "Flow", "FlowNetwork", "TransferAborted"]
+
+#: Bytes-remaining below this are considered "done" (guards float drift).
+_EPSILON = 1e-9
+
+
+class TransferAborted(Exception):
+    """Raised to waiters when a flow is cancelled (e.g. client blocked)."""
+
+    def __init__(self, flow: "Flow", reason: str = "") -> None:
+        super().__init__(reason or f"transfer {flow!r} aborted")
+        self.flow = flow
+        self.reason = reason
+
+
+class NetNode:
+    """A network endpoint with finite NIC capacities.
+
+    ``capacity_out`` bounds the sum of rates of flows *leaving* the node,
+    ``capacity_in`` bounds flows *entering* it.
+    """
+
+    __slots__ = ("name", "capacity_out", "capacity_in", "site")
+
+    def __init__(
+        self,
+        name: str,
+        capacity_out: float = 125.0,
+        capacity_in: float = 125.0,
+        site: str = "site-0",
+    ) -> None:
+        if capacity_out <= 0 or capacity_in <= 0:
+            raise ValueError("NIC capacities must be positive")
+        self.name = name
+        self.capacity_out = float(capacity_out)
+        self.capacity_in = float(capacity_in)
+        self.site = site
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"NetNode({self.name!r}, out={self.capacity_out}, "
+            f"in={self.capacity_in}, site={self.site!r})"
+        )
+
+
+class Flow:
+    """One in-flight bulk transfer."""
+
+    __slots__ = (
+        "fid",
+        "src",
+        "dst",
+        "size",
+        "remaining",
+        "rate",
+        "rate_cap",
+        "done",
+        "started_at",
+        "finished_at",
+        "tag",
+        "_resources",
+    )
+
+    def __init__(
+        self,
+        fid: int,
+        src: NetNode,
+        dst: NetNode,
+        size: float,
+        done: Event,
+        rate_cap: Optional[float] = None,
+        tag: Optional[str] = None,
+        started_at: float = 0.0,
+    ) -> None:
+        self.fid = fid
+        self.src = src
+        self.dst = dst
+        self.size = float(size)
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.rate_cap = rate_cap
+        self.done = done
+        self.started_at = started_at
+        self.finished_at: Optional[float] = None
+        self.tag = tag
+        #: Cached resource keys, filled when the flow is admitted.
+        self._resources: Tuple[tuple, ...] = ()
+
+    @property
+    def transferred(self) -> float:
+        return self.size - self.remaining
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Flow #{self.fid} {self.src.name}->{self.dst.name} "
+            f"{self.remaining:.2f}/{self.size:.2f}MB @ {self.rate:.2f}MB/s>"
+        )
+
+
+class FlowNetwork:
+    """Max-min fair bandwidth sharing over a set of :class:`NetNode`.
+
+    Cross-site flows additionally contend on a per-site-pair backbone
+    resource when ``backbone_capacity`` is finite, matching the multi-site
+    Grid'5000 deployments in the paper.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        latency: float | Callable[[NetNode, NetNode], float] = 0.0005,
+        backbone_capacity: float = float("inf"),
+        recompute_granularity_s: float = 0.0,
+    ) -> None:
+        self.env = env
+        #: Minimum spacing between water-filling passes.  0 = exact
+        #: (recompute at every change instant); a few milliseconds trades
+        #: negligible rate staleness for large speedups under flow churn.
+        self.recompute_granularity_s = recompute_granularity_s
+        self._last_realloc = -float("inf")
+        self.nodes: Dict[str, NetNode] = {}
+        #: Active flows, insertion-ordered by fid (determinism!).
+        self._flows: Dict[int, Flow] = {}
+        self._latency = latency
+        self.backbone_capacity = float(backbone_capacity)
+        self._fid = itertools.count(1)
+        self._last_update = env.now
+        self._timer_token = 0
+        self._recompute_pending = False
+        #: Cumulative MB delivered, for utilisation accounting.
+        self.total_delivered = 0.0
+        #: Count of water-filling passes (perf introspection).
+        self.reallocations = 0
+
+    # -- topology -------------------------------------------------------------
+    def add_node(self, node: NetNode) -> NetNode:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node {node.name!r}")
+        self.nodes[node.name] = node
+        return node
+
+    def node(self, name: str) -> NetNode:
+        return self.nodes[name]
+
+    @property
+    def flows(self) -> List[Flow]:
+        """Snapshot of active flows (ordered by admission)."""
+        return list(self._flows.values())
+
+    def remove_node(self, name: str) -> None:
+        """Remove a node, aborting any flows touching it."""
+        node = self.nodes.pop(name)
+        doomed = [f for f in self._flows.values() if f.src is node or f.dst is node]
+        for flow in doomed:
+            self.abort(flow, reason=f"node {name} removed")
+
+    def latency_between(self, src: NetNode, dst: NetNode) -> float:
+        if callable(self._latency):
+            return self._latency(src, dst)
+        return float(self._latency)
+
+    # -- transfers --------------------------------------------------------------
+    def transfer(
+        self,
+        src: NetNode | str,
+        dst: NetNode | str,
+        size: float,
+        rate_cap: Optional[float] = None,
+        tag: Optional[str] = None,
+    ) -> Event:
+        """Start a transfer; the returned event succeeds with the Flow
+        when the last byte arrives (propagation latency included)."""
+        if isinstance(src, str):
+            src = self.nodes[src]
+        if isinstance(dst, str):
+            dst = self.nodes[dst]
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        done = self.env.event()
+        flow = Flow(
+            next(self._fid), src, dst, size, done,
+            rate_cap=rate_cap, tag=tag, started_at=self.env.now,
+        )
+        delay = self.latency_between(src, dst)
+        start = Timeout(self.env, delay)
+        if size <= _EPSILON:
+            # Control message: latency only.
+            start.callbacks.append(lambda _ev: self._deliver_message(flow))
+        else:
+            start.callbacks.append(lambda _ev: self._admit(flow))
+        return done
+
+    def message(self, src: NetNode | str, dst: NetNode | str) -> Event:
+        """A zero-payload control message (latency only)."""
+        return self.transfer(src, dst, 0.0)
+
+    def abort(self, flow: Flow, reason: str = "") -> None:
+        """Cancel an in-flight flow; its waiter sees :class:`TransferAborted`."""
+        if flow.fid in self._flows:
+            self._advance_progress()
+            del self._flows[flow.fid]
+            if not flow.done.triggered:
+                flow.done.fail(TransferAborted(flow, reason))
+            self._schedule_recompute()
+
+    def abort_matching(self, predicate: Callable[[Flow], bool], reason: str = "") -> int:
+        """Abort all flows matching *predicate*; returns how many."""
+        doomed = [f for f in self._flows.values() if predicate(f)]
+        for flow in doomed:
+            self.abort(flow, reason)
+        return len(doomed)
+
+    # -- internals -----------------------------------------------------------
+    def _deliver_message(self, flow: Flow) -> None:
+        flow.finished_at = self.env.now
+        if not flow.done.triggered:
+            flow.done.succeed(flow)
+
+    def _admit(self, flow: Flow) -> None:
+        self._flows[flow.fid] = flow
+        flow._resources = tuple(self._resources_of(flow))
+        self._schedule_recompute()
+
+    def _schedule_recompute(self) -> None:
+        """Coalesce changes: at most one pass per granularity window."""
+        if self._recompute_pending:
+            return
+        self._recompute_pending = True
+        delay = 0.0
+        if self.recompute_granularity_s > 0:
+            next_allowed = self._last_realloc + self.recompute_granularity_s
+            delay = max(0.0, next_allowed - self.env.now)
+        marker = Timeout(self.env, delay)
+        marker.callbacks.append(self._run_recompute)
+
+    def _run_recompute(self, _event: Event) -> None:
+        self._recompute_pending = False
+        self._advance_progress()
+        self._reallocate()
+
+    def _advance_progress(self) -> None:
+        """Drain bytes at current rates for the elapsed interval."""
+        elapsed = self.env.now - self._last_update
+        if elapsed > 0:
+            for flow in self._flows.values():
+                moved = min(flow.remaining, flow.rate * elapsed)
+                flow.remaining -= moved
+                self.total_delivered += moved
+        self._last_update = self.env.now
+
+    def _resources_of(self, flow: Flow) -> List[tuple]:
+        resources: List[tuple] = [("out", flow.src.name), ("in", flow.dst.name)]
+        if (
+            flow.src.site != flow.dst.site
+            and self.backbone_capacity != float("inf")
+        ):
+            pair = tuple(sorted((flow.src.site, flow.dst.site)))
+            resources.append(("bb",) + pair)
+        if flow.rate_cap is not None:
+            resources.append(("cap", flow.fid))
+        return resources
+
+    def _capacity_of(self, resource: tuple, flow: Optional[Flow] = None) -> float:
+        kind = resource[0]
+        if kind == "out":
+            node = self.nodes.get(resource[1])
+            return node.capacity_out if node is not None else float("inf")
+        if kind == "in":
+            node = self.nodes.get(resource[1])
+            return node.capacity_in if node is not None else float("inf")
+        if kind == "bb":
+            return self.backbone_capacity
+        return flow.rate_cap if flow is not None else float("inf")
+
+    def _reallocate(self) -> None:
+        """Vectorized water-filling max-min fair rate assignment."""
+        self.reallocations += 1
+        self._last_realloc = self.env.now
+        # Reap already-finished flows first (fid order: deterministic).
+        for flow in [f for f in self._flows.values() if f.remaining <= _EPSILON]:
+            self._finish(flow)
+        flows = list(self._flows.values())
+        if not flows:
+            self._timer_token += 1
+            return
+
+        # Build the flow x resource incidence (<= 4 resources per flow).
+        res_index: Dict[tuple, int] = {}
+        caps: List[float] = []
+        flow_count = len(flows)
+        entry_rows: List[int] = []
+        entry_cols: List[int] = []
+        for i, flow in enumerate(flows):
+            for resource in flow._resources:
+                j = res_index.get(resource)
+                if j is None:
+                    j = len(caps)
+                    res_index[resource] = j
+                    caps.append(self._capacity_of(resource, flow))
+                entry_rows.append(i)
+                entry_cols.append(j)
+
+        res_count = len(caps)
+        remaining = np.asarray(caps, dtype=float)
+        rows = np.asarray(entry_rows, dtype=np.intp)
+        cols = np.asarray(entry_cols, dtype=np.intp)
+        counts = np.bincount(cols, minlength=res_count).astype(float)
+        # Per-resource flow lists (CSR-ish) for fast freezing.
+        order = np.argsort(cols, kind="stable")
+        sorted_rows = rows[order]
+        sorted_cols = cols[order]
+        res_ptr = np.searchsorted(sorted_cols, np.arange(res_count + 1))
+        # Per-flow resource lists, padded to 4 columns.
+        flow_res = np.full((flow_count, 4), -1, dtype=np.intp)
+        fill = np.zeros(flow_count, dtype=np.intp)
+        for r, c in zip(entry_rows, entry_cols):
+            flow_res[r, fill[r]] = c
+            fill[r] += 1
+
+        rates = np.zeros(flow_count)
+        frozen = np.zeros(flow_count, dtype=bool)
+        active_res = counts > 0
+        while active_res.any():
+            shares = np.full(res_count, np.inf)
+            np.divide(remaining, counts, out=shares, where=active_res)
+            share = float(shares.min())
+            if not np.isfinite(share):
+                # Only infinite-capacity resources left: unconstrained.
+                rates[~frozen] = 1e12
+                break
+            share = max(share, 0.0)
+            # Freeze every resource tied at the minimum share in one pass.
+            # If r has share s and k of its flows freeze at s, its share
+            # stays exactly s — so batching ties equals the sequential
+            # algorithm while collapsing symmetric topologies (e.g. 60
+            # equally-loaded provider NICs) into a single round.
+            tolerance = share * 1e-9 + 1e-15
+            bottlenecks = np.flatnonzero(shares <= share + tolerance)
+            freeze_mask = np.zeros(flow_count, dtype=bool)
+            for bottleneck in bottlenecks:
+                members = sorted_rows[res_ptr[bottleneck]:res_ptr[bottleneck + 1]]
+                freeze_mask[members] = True
+            freeze_mask &= ~frozen
+            to_freeze = np.flatnonzero(freeze_mask)
+            if to_freeze.size:
+                rates[to_freeze] = share
+                frozen[to_freeze] = True
+                touched = flow_res[to_freeze].ravel()
+                touched = touched[touched >= 0]
+                np.subtract.at(remaining, touched, share)
+                np.maximum(remaining, 0.0, out=remaining)
+                np.add.at(counts, touched, -1)
+            counts[bottlenecks] = 0
+            active_res = counts > 0
+
+        for i, flow in enumerate(flows):
+            flow.rate = float(rates[i])
+
+        self._arm_timer()
+
+    def _finish(self, flow: Flow) -> None:
+        self._flows.pop(flow.fid, None)
+        flow.remaining = 0.0
+        flow.rate = 0.0
+        flow.finished_at = self.env.now
+        if not flow.done.triggered:
+            flow.done.succeed(flow)
+
+    def _arm_timer(self) -> None:
+        """Schedule a wake-up at the earliest flow completion."""
+        self._timer_token += 1
+        token = self._timer_token
+        horizon = float("inf")
+        for flow in self._flows.values():
+            if flow.rate > 0:
+                horizon = min(horizon, flow.remaining / flow.rate)
+        if horizon == float("inf"):
+            return
+        timer = Timeout(self.env, horizon)
+        timer.callbacks.append(lambda _ev: self._timer_fired(token))
+
+    def _timer_fired(self, token: int) -> None:
+        if token != self._timer_token:
+            return  # a newer reallocation superseded this timer
+        self._advance_progress()
+        self._reallocate()
+
+    # -- introspection helpers ----------------------------------------------
+    def node_load(self, name: str) -> Tuple[float, float]:
+        """(outgoing, incoming) aggregate rate at a node, MB/s."""
+        out_rate = sum(f.rate for f in self._flows.values() if f.src.name == name)
+        in_rate = sum(f.rate for f in self._flows.values() if f.dst.name == name)
+        return out_rate, in_rate
+
+    def active_flow_count(self) -> int:
+        return len(self._flows)

@@ -1,0 +1,302 @@
+"""Shared-resource primitives: Resource, Container, Store.
+
+These model contention points in the simulated system — a provider's disk
+queue, a version manager's critical section, a bounded monitoring buffer.
+Requests are events, so processes simply ``yield`` them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from .events import Event, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Environment
+
+__all__ = [
+    "Request",
+    "Release",
+    "Resource",
+    "PriorityResource",
+    "Container",
+    "Store",
+    "FilterStore",
+]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Succeeds when the resource grants a slot.  Supports use as a context
+    manager so ``with resource.request() as req: yield req`` releases on
+    exit even if the process is interrupted while using the slot.
+    """
+
+    __slots__ = ("resource", "priority", "key")
+
+    def __init__(self, resource: "Resource", priority: float = 0.0) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self.key: Any = None
+        resource._enqueue(self)
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request from the wait queue."""
+        self.resource._cancel(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.resource.release(self)
+
+
+class Release(Event):
+    """Immediate-success event returned by :meth:`Resource.release`."""
+
+    __slots__ = ()
+
+
+class Resource:
+    """A FIFO resource with integer capacity (SimPy-style)."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = int(capacity)
+        self.users: list[Request] = []
+        self.queue: deque[Request] = deque()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    def request(self, priority: float = 0.0) -> Request:
+        return Request(self, priority)
+
+    def release(self, request: Request) -> Release:
+        """Free the slot held by *request* (no-op if not a holder)."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # Request was never granted: cancel it from the queue instead.
+            self._cancel(request)
+        else:
+            self._grant_next()
+        release = Release(self.env)
+        release.succeed()
+        return release
+
+    # -- internal ------------------------------------------------------------
+    def _enqueue(self, request: Request) -> None:
+        self.queue.append(request)
+        self._grant_next()
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            request = self.queue.popleft()
+            self.users.append(request)
+            request.succeed()
+
+
+class PriorityResource(Resource):
+    """Resource whose waiters are served lowest-priority-value first."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self._heap: list[tuple[float, int, Request]] = []
+        self._seq = 0
+
+    def _enqueue(self, request: Request) -> None:
+        self._seq += 1
+        entry = (request.priority, self._seq, request)
+        request.key = entry
+        heapq.heappush(self._heap, entry)
+        self._grant_next()
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self._heap.remove(request.key)
+        except ValueError:
+            return
+        heapq.heapify(self._heap)
+
+    def _grant_next(self) -> None:
+        while self._heap and len(self.users) < self._capacity:
+            _prio, _seq, request = heapq.heappop(self._heap)
+            self.users.append(request)
+            request.succeed()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._heap)
+
+
+class Container:
+    """A continuous-quantity store (e.g. disk bytes free).
+
+    ``put``/``get`` return events that succeed once the amount can be
+    moved while respecting ``0 <= level <= capacity``.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init {init} outside [0, {capacity}]")
+        self.env = env
+        self._capacity = float(capacity)
+        self._level = float(init)
+        self._puts: deque[tuple[Event, float]] = deque()
+        self._gets: deque[tuple[Event, float]] = deque()
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        event = Event(self.env)
+        self._puts.append((event, amount))
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        event = Event(self.env)
+        self._gets.append((event, amount))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._puts:
+                event, amount = self._puts[0]
+                if self._level + amount <= self._capacity:
+                    self._puts.popleft()
+                    self._level += amount
+                    event.succeed()
+                    progressed = True
+            if self._gets:
+                event, amount = self._gets[0]
+                if amount <= self._level:
+                    self._gets.popleft()
+                    self._level -= amount
+                    event.succeed()
+                    progressed = True
+
+
+class Store:
+    """A FIFO store of Python objects with optional capacity bound."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self._capacity = capacity
+        self.items: deque[Any] = deque()
+        self._puts: deque[tuple[Event, Any]] = deque()
+        self._gets: deque[Event] = deque()
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        event = Event(self.env)
+        self._puts.append((event, item))
+        self._settle()
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.env)
+        self._gets.append(event)
+        self._settle()
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; False if the store is full and nobody waits."""
+        if len(self.items) < self._capacity or self._gets:
+            self.put(item)
+            return True
+        return False
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._puts and len(self.items) < self._capacity:
+                event, item = self._puts.popleft()
+                self.items.append(item)
+                event.succeed()
+                progressed = True
+            if self._gets and self.items:
+                event = self._gets.popleft()
+                event.succeed(self.items.popleft())
+                progressed = True
+
+
+class FilterStore(Store):
+    """Store whose ``get`` may select by predicate."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        super().__init__(env, capacity)
+        self._filter_gets: deque[tuple[Event, Callable[[Any], bool]]] = deque()
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
+        if predicate is None:
+            return super().get()
+        event = Event(self.env)
+        self._filter_gets.append((event, predicate))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        super()._settle()
+        # Serve predicate-based getters (first match wins, re-scan on change).
+        pending: deque[tuple[Event, Callable[[Any], bool]]] = deque()
+        while self._filter_gets:
+            event, predicate = self._filter_gets.popleft()
+            for idx, item in enumerate(self.items):
+                if predicate(item):
+                    del self.items[idx]
+                    event.succeed(item)
+                    break
+            else:
+                pending.append((event, predicate))
+        self._filter_gets = pending
+        # Freed capacity may unblock plain puts.
+        if self._puts and len(self.items) < self._capacity:
+            super()._settle()

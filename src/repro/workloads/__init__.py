@@ -1,0 +1,24 @@
+"""Workload generators: correct clients, DoS attackers, canned scenarios."""
+
+from .clients import CorrectReader, CorrectWriter, DosAttacker, DosReader
+from .mapreduce import MapReduceConfig, MapReduceJob, StageStats
+from .scenarios import (
+    DosScenario,
+    WriteScenario,
+    build_dos_scenario,
+    build_write_scenario,
+)
+
+__all__ = [
+    "CorrectWriter",
+    "CorrectReader",
+    "DosAttacker",
+    "DosReader",
+    "WriteScenario",
+    "build_write_scenario",
+    "DosScenario",
+    "build_dos_scenario",
+    "MapReduceJob",
+    "MapReduceConfig",
+    "StageStats",
+]

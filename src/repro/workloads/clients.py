@@ -1,0 +1,286 @@
+"""Client behaviours: correct workloads and DoS attackers.
+
+Correct clients model the paper's write/read-intensive Cloud workloads
+(each client streams large appends, §IV-B/§IV-C).  Malicious clients
+model the DoS pattern of §IV-C: they escalate into a flood of many
+small concurrent writes, stealing per-flow bandwidth shares from correct
+clients at the data providers until the security framework blocks them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..blobseer.client import BlobSeerClient, OpResult
+from ..blobseer.errors import AccessDenied, BlobSeerError
+from ..cluster.node import NodeDownError
+from ..simulation.network import TransferAborted
+
+__all__ = ["CorrectWriter", "CorrectReader", "DosAttacker", "DosReader"]
+
+
+class CorrectWriter:
+    """A well-behaved client streaming large appends to its own BLOB."""
+
+    def __init__(
+        self,
+        client: BlobSeerClient,
+        op_mb: float = 1024.0,
+        chunk_size_mb: float = 64.0,
+        start_at: float = 0.0,
+        stop_at: float = float("inf"),
+        max_ops: Optional[int] = None,
+        think_s: float = 0.0,
+    ) -> None:
+        self.client = client
+        self.op_mb = op_mb
+        self.chunk_size_mb = chunk_size_mb
+        self.start_at = start_at
+        self.stop_at = stop_at
+        self.max_ops = max_ops
+        self.think_s = think_s
+        self.results: List[OpResult] = []
+        self.blob_id: Optional[int] = None
+        self.denied = False
+
+    def run(self, env):
+        """Generator: the client's lifetime (start with ``env.process``)."""
+        if self.start_at > env.now:
+            yield env.timeout(self.start_at - env.now)
+        try:
+            self.blob_id = yield env.process(
+                self.client.create_blob(self.chunk_size_mb)
+            )
+        except AccessDenied:
+            self.denied = True
+            return
+        ops = 0
+        while env.now < self.stop_at:
+            if self.max_ops is not None and ops >= self.max_ops:
+                break
+            try:
+                result = yield env.process(self.client.append(self.blob_id, self.op_mb))
+                self.results.append(result)
+                ops += 1
+            except AccessDenied:
+                self.denied = True
+                return
+            except (BlobSeerError, NodeDownError, TransferAborted):
+                # Transient failure (e.g. provider died): brief backoff.
+                yield env.timeout(0.5)
+            if self.think_s > 0:
+                yield env.timeout(self.think_s)
+
+    # -- metrics -----------------------------------------------------------------
+    def mean_throughput(self) -> float:
+        ok = [r.throughput_mbps for r in self.results if r.ok]
+        return sum(ok) / len(ok) if ok else 0.0
+
+    def mean_duration(self) -> float:
+        ok = [r.duration_s for r in self.results if r.ok]
+        return sum(ok) / len(ok) if ok else 0.0
+
+    def total_written_mb(self) -> float:
+        return sum(r.size_mb for r in self.results if r.ok)
+
+
+class CorrectReader:
+    """A well-behaved client repeatedly reading ranges of a shared BLOB."""
+
+    def __init__(
+        self,
+        client: BlobSeerClient,
+        blob_id: int,
+        op_mb: float = 512.0,
+        start_at: float = 0.0,
+        stop_at: float = float("inf"),
+        max_ops: Optional[int] = None,
+        offset_mb: float = 0.0,
+    ) -> None:
+        self.client = client
+        self.blob_id = blob_id
+        self.op_mb = op_mb
+        self.start_at = start_at
+        self.stop_at = stop_at
+        self.max_ops = max_ops
+        self.offset_mb = offset_mb
+        self.results: List[OpResult] = []
+        self.denied = False
+
+    def run(self, env):
+        if self.start_at > env.now:
+            yield env.timeout(self.start_at - env.now)
+        ops = 0
+        while env.now < self.stop_at:
+            if self.max_ops is not None and ops >= self.max_ops:
+                break
+            try:
+                result = yield env.process(
+                    self.client.read(self.blob_id, self.offset_mb, self.op_mb)
+                )
+                self.results.append(result)
+                ops += 1
+            except AccessDenied:
+                self.denied = True
+                return
+            except (BlobSeerError, NodeDownError, TransferAborted):
+                yield env.timeout(0.5)
+
+    def mean_throughput(self) -> float:
+        ok = [r.throughput_mbps for r in self.results if r.ok]
+        return sum(ok) / len(ok) if ok else 0.0
+
+
+class DosAttacker:
+    """A malicious client flooding the service with small write requests.
+
+    Each of ``parallel`` worker loops creates its own tiny-chunk BLOB and
+    appends one small chunk over and over.  The flood keeps hundreds of
+    cheap requests outstanding at the version manager — BlobSeer's
+    serialization service — so correct clients' ticket/publish RPCs queue
+    behind them and their end-to-end write throughput collapses (the
+    §IV-C mechanism).  The abnormal *request rate* is what the
+    ``dos_flood_policy`` detects.
+    """
+
+    def __init__(
+        self,
+        client: BlobSeerClient,
+        start_at: float = 0.0,
+        stop_at: float = float("inf"),
+        chunk_size_mb: float = 1.0,
+        op_mb: Optional[float] = None,
+        parallel: int = 128,
+        ramp_interval_s: float = 0.0,
+        initial_parallel: Optional[int] = None,
+    ) -> None:
+        self.client = client
+        self.start_at = start_at
+        self.stop_at = stop_at
+        self.chunk_size_mb = chunk_size_mb
+        self.op_mb = op_mb if op_mb is not None else chunk_size_mb
+        self.max_parallel = parallel
+        #: With ramp_interval_s > 0 the attack escalates: worker count
+        #: doubles from initial_parallel each interval.
+        self.parallel = (
+            initial_parallel if (ramp_interval_s > 0 and initial_parallel)
+            else parallel
+        )
+        self.ramp_interval_s = ramp_interval_s
+        self.blocked_at: Optional[float] = None
+        self.ops_issued = 0
+        self.ops_completed = 0
+        self._stopped = False
+
+    @property
+    def blocked(self) -> bool:
+        return self.blocked_at is not None
+
+    def run(self, env):
+        """Generator: the attacker's lifetime (start with ``env.process``)."""
+        if self.start_at > env.now:
+            yield env.timeout(self.start_at - env.now)
+        self._spawned = 0
+        self._spawn_workers(env)
+        if self.ramp_interval_s > 0:
+            env.process(self._ramp(env), name=f"ramp-{self.client.client_id}")
+        while not self._stopped and env.now < self.stop_at:
+            yield env.timeout(1.0)
+        self._stopped = True
+
+    def _spawn_workers(self, env) -> None:
+        while self._spawned < self.parallel:
+            self._spawned += 1
+            env.process(self._worker(env), name=f"dos-{self.client.client_id}")
+
+    def _ramp(self, env):
+        while not self._stopped and env.now < self.stop_at:
+            yield env.timeout(self.ramp_interval_s)
+            if self._stopped:
+                return
+            self.parallel = min(self.max_parallel, self.parallel * 2)
+            self._spawn_workers(env)
+
+    def _worker(self, env):
+        blob_id = None
+        while not self._stopped and env.now < self.stop_at:
+            try:
+                if blob_id is None:
+                    self.ops_issued += 1
+                    blob_id = yield env.process(
+                        self.client.create_blob(self.chunk_size_mb)
+                    )
+                self.ops_issued += 1
+                yield env.process(self.client.append(blob_id, self.op_mb))
+                self.ops_completed += 1
+            except AccessDenied:
+                if self.blocked_at is None:
+                    self.blocked_at = env.now
+                self._stopped = True
+                return
+            except (BlobSeerError, NodeDownError, TransferAborted):
+                # Aborted by enforcement or transient failure; retry lets
+                # the access check fire if we were blocked mid-flight.
+                yield env.timeout(0.1)
+
+
+class DosReader:
+    """A malicious client flooding the service with small read requests.
+
+    The read-intensive counterpart of :class:`DosAttacker` (§IV-C names
+    both write- and read-intensive DoS).  Each worker loop reads the
+    first chunk of a target BLOB over and over; hundreds of outstanding
+    read requests hammer the version manager's get-latest path and the
+    providers serving the chunk.  Detected by ``read_flood_policy``.
+    """
+
+    def __init__(
+        self,
+        client: BlobSeerClient,
+        blob_id: int,
+        start_at: float = 0.0,
+        stop_at: float = float("inf"),
+        read_mb: float = 64.0,
+        parallel: int = 64,
+    ) -> None:
+        self.client = client
+        self.blob_id = blob_id
+        self.start_at = start_at
+        self.stop_at = stop_at
+        self.read_mb = read_mb
+        self.parallel = parallel
+        self.blocked_at: Optional[float] = None
+        self.ops_issued = 0
+        self.ops_completed = 0
+        self._stopped = False
+
+    @property
+    def blocked(self) -> bool:
+        return self.blocked_at is not None
+
+    def run(self, env):
+        """Generator: the attacker's lifetime (start with ``env.process``)."""
+        if self.start_at > env.now:
+            yield env.timeout(self.start_at - env.now)
+        for _ in range(self.parallel):
+            env.process(self._worker(env), name=f"dosr-{self.client.client_id}")
+        while not self._stopped and env.now < self.stop_at:
+            yield env.timeout(1.0)
+        self._stopped = True
+
+    def _worker(self, env):
+        while not self._stopped and env.now < self.stop_at:
+            try:
+                self.ops_issued += 1
+                yield env.process(
+                    self.client.read(self.blob_id, 0.0, self.read_mb)
+                )
+                self.ops_completed += 1
+            except AccessDenied:
+                if self.blocked_at is None:
+                    self.blocked_at = env.now
+                self._stopped = True
+                return
+            except (BlobSeerError, NodeDownError, TransferAborted):
+                yield env.timeout(0.1)

@@ -1,0 +1,244 @@
+"""Canned experiment scenarios matching the paper's deployments.
+
+- :func:`build_write_scenario` — §IV-B: N clients each writing 1 GB to
+  BlobSeer, with or without the introspection stack (150 data providers
+  in the paper).
+- :func:`build_dos_scenario` — §IV-C: 70 BlobSeer nodes, 8 monitoring
+  services, up to 50 concurrent clients, a fraction of them attackers,
+  with or without the security framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..blobseer.access import AccessTable
+from ..blobseer.deployment import BlobSeerConfig, BlobSeerDeployment
+from ..cluster.testbed import TestbedConfig
+from ..monitoring.pipeline import MonitoringConfig, MonitoringStack
+from ..security.framework import PolicyManagement, SecurityConfig
+from ..security.policy import Policy, dos_flood_policy
+from .clients import CorrectWriter, DosAttacker
+
+__all__ = [
+    "WriteScenario",
+    "build_write_scenario",
+    "DosScenario",
+    "build_dos_scenario",
+]
+
+
+@dataclass
+class WriteScenario:
+    """Handles for a §IV-B style concurrent-write run."""
+
+    deployment: BlobSeerDeployment
+    monitoring: Optional[MonitoringStack]
+    writers: List[CorrectWriter]
+
+    __test__ = False
+
+    def run(self, until: Optional[float] = None) -> None:
+        env = self.deployment.env
+        procs = [env.process(w.run(env), name=f"writer-{i}")
+                 for i, w in enumerate(self.writers)]
+        if until is not None:
+            self.deployment.run(until=until)
+        else:
+            self.deployment.run(until=env.all_of(procs))
+
+    def mean_client_throughput(self) -> float:
+        values = [w.mean_throughput() for w in self.writers if w.results]
+        return sum(values) / len(values) if values else 0.0
+
+
+def build_write_scenario(
+    clients: int,
+    data_providers: int = 150,
+    metadata_providers: int = 8,
+    op_mb: float = 1024.0,
+    ops_per_client: int = 1,
+    chunk_size_mb: float = 64.0,
+    with_monitoring: bool = True,
+    monitoring_services: int = 8,
+    seed: int = 0,
+) -> WriteScenario:
+    """The §IV-B experiment: N clients x 1 GB writes, monitored or not."""
+    deployment = BlobSeerDeployment(BlobSeerConfig(
+        data_providers=data_providers,
+        metadata_providers=metadata_providers,
+        chunk_size_mb=chunk_size_mb,
+        testbed=TestbedConfig(seed=seed),
+    ))
+    monitoring: Optional[MonitoringStack] = None
+    if with_monitoring:
+        monitoring = MonitoringStack(deployment.testbed, MonitoringConfig(
+            services=monitoring_services,
+            storage_servers=max(2, monitoring_services // 2),
+            flush_interval_s=1.0,
+            physical_sample_interval_s=5.0,
+            sensor_stop_at=600.0,
+        ))
+        monitoring.attach(deployment)
+    writers = []
+    for i in range(clients):
+        client = deployment.new_client(f"client-{i}")
+        writers.append(CorrectWriter(
+            client, op_mb=op_mb, chunk_size_mb=chunk_size_mb,
+            max_ops=ops_per_client,
+        ))
+    return WriteScenario(deployment, monitoring, writers)
+
+
+@dataclass
+class DosScenario:
+    """Handles for a §IV-C style attack run."""
+
+    deployment: BlobSeerDeployment
+    monitoring: MonitoringStack
+    security: Optional[PolicyManagement]
+    access: AccessTable
+    correct: List[CorrectWriter]
+    attackers: List[DosAttacker]
+    attack_start: float
+
+    __test__ = False
+
+    def start(self) -> None:
+        env = self.deployment.env
+        for i, writer in enumerate(self.correct):
+            env.process(writer.run(env), name=f"writer-{i}")
+        for i, attacker in enumerate(self.attackers):
+            env.process(attacker.run(env), name=f"attacker-{i}")
+        if self.security is not None:
+            self.security.start()
+
+    def run(self, until: float) -> None:
+        self.start()
+        self.deployment.run(until=until)
+
+    # -- metrics -------------------------------------------------------------------
+    def correct_mean_throughput(self) -> float:
+        values = [w.mean_throughput() for w in self.correct if w.results]
+        return sum(values) / len(values) if values else 0.0
+
+    def correct_mean_duration(self) -> float:
+        values = [w.mean_duration() for w in self.correct if w.results]
+        return sum(values) / len(values) if values else 0.0
+
+    def detection_delays(self) -> List[float]:
+        """Per detected attacker: seconds from its attack start to block."""
+        if self.security is None:
+            return []
+        delays = []
+        for attacker in self.attackers:
+            detected = self.security.engine.first_detection(
+                attacker.client.client_id
+            )
+            if detected is not None:
+                delays.append(detected - max(attacker.start_at, self.attack_start))
+        return delays
+
+    def detection_times(self) -> List[float]:
+        """Absolute detection times of attackers (for first/last-vs-
+        attack-start reporting, the paper's EXP-C3 metric)."""
+        if self.security is None:
+            return []
+        times = []
+        for attacker in self.attackers:
+            detected = self.security.engine.first_detection(
+                attacker.client.client_id
+            )
+            if detected is not None:
+                times.append(detected)
+        return times
+
+
+def build_dos_scenario(
+    n_clients: int,
+    malicious_fraction: float,
+    security_enabled: bool = True,
+    data_providers: int = 60,
+    metadata_providers: int = 8,
+    monitoring_services: int = 8,
+    op_mb: float = 1024.0,
+    chunk_size_mb: float = 64.0,
+    attack_start: float = 20.0,
+    attack_stagger_s: float = 15.0,
+    attack_parallel: int = 128,
+    seed: int = 0,
+    policies: Optional[List[Policy]] = None,
+    scan_interval_s: float = 10.0,
+    history_pull_interval_s: float = 5.0,
+    flush_interval_s: float = 2.0,
+    confirmations: int = 2,
+    rate_threshold: float = 1.0,
+    policy_window_s: float = 30.0,
+    rate_granularity_s: float = 0.02,
+) -> DosScenario:
+    """The §IV-C deployment: 70 BlobSeer nodes (60 data + 8 metadata
+    providers + version & provider managers), 8 monitoring services."""
+    access = AccessTable()
+    deployment = BlobSeerDeployment(
+        BlobSeerConfig(
+            data_providers=data_providers,
+            metadata_providers=metadata_providers,
+            chunk_size_mb=chunk_size_mb,
+            testbed=TestbedConfig(seed=seed, rate_granularity_s=rate_granularity_s),
+        ),
+        access=access,
+    )
+    monitoring = MonitoringStack(deployment.testbed, MonitoringConfig(
+        services=monitoring_services,
+        storage_servers=max(2, monitoring_services // 2),
+        flush_interval_s=flush_interval_s,
+    ))
+    monitoring.attach(deployment)
+
+    n_malicious = int(round(n_clients * malicious_fraction))
+    n_correct = n_clients - n_malicious
+    rng = deployment.rng.stream("scenario")
+
+    correct = []
+    for i in range(n_correct):
+        client = deployment.new_client(f"good-{i}")
+        correct.append(CorrectWriter(client, op_mb=op_mb, chunk_size_mb=chunk_size_mb))
+
+    attackers = []
+    for i in range(n_malicious):
+        client = deployment.new_client(f"evil-{i}")
+        start = attack_start + float(rng.uniform(0.0, attack_stagger_s))
+        attackers.append(DosAttacker(
+            client,
+            start_at=start,
+            chunk_size_mb=1.0,  # tiny chunks: a request flood, not bulk data
+            parallel=attack_parallel,
+        ))
+
+    security: Optional[PolicyManagement] = None
+    if security_enabled:
+        if policies is None:
+            policies = [dos_flood_policy(
+                max_rate_per_s=rate_threshold, window_s=policy_window_s
+            )]
+        security = PolicyManagement(
+            deployment,
+            monitoring,
+            policies=policies,
+            access_table=access,
+            config=SecurityConfig(
+                scan_interval_s=scan_interval_s,
+                history_pull_interval_s=history_pull_interval_s,
+                confirmations=confirmations,
+            ),
+        )
+    return DosScenario(
+        deployment=deployment,
+        monitoring=monitoring,
+        security=security,
+        access=access,
+        correct=correct,
+        attackers=attackers,
+        attack_start=attack_start,
+    )

@@ -1,0 +1,86 @@
+"""Tests for the instrumentation sinks and the RPC helper."""
+
+import pytest
+
+from repro.blobseer.instrument import (
+    CompositeSink,
+    MonitoringEvent,
+    NullSink,
+    RecordingSink,
+)
+from repro.blobseer.rpc import CONTROL_MSG_MB, request_response
+from repro.cluster import Testbed, TestbedConfig
+
+
+def make_event(etype="chunk_write", **fields):
+    return MonitoringEvent(
+        time=1.0, actor_type="provider", actor_id="p0", event_type=etype,
+        fields=fields,
+    )
+
+
+def test_null_sink_discards():
+    sink = NullSink()
+    sink.emit(make_event())  # must not raise, nothing to assert
+
+
+def test_recording_sink_collects_and_filters():
+    sink = RecordingSink()
+    sink.emit(make_event("chunk_write"))
+    sink.emit(make_event("chunk_read"))
+    sink.emit(make_event("chunk_write"))
+    assert len(sink) == 3
+    assert len(sink.of_type("chunk_write")) == 2
+    assert len(sink.of_type("nothing")) == 0
+
+
+def test_composite_sink_fans_out():
+    a, b = RecordingSink(), RecordingSink()
+    composite = CompositeSink(a)
+    composite.add(b)
+    composite.emit(make_event())
+    assert len(a) == 1 and len(b) == 1
+
+
+def test_parameter_name_includes_chunk_identity():
+    plain = make_event("storage_level", used_mb=5.0)
+    chunky = make_event("chunk_write", chunk="b1.c.w1.c0", size_mb=64.0)
+    assert plain.parameter_name() == "provider.p0.storage_level"
+    assert chunky.parameter_name().endswith(".b1.c.w1.c0")
+
+
+def test_monitoring_event_is_frozen():
+    event = make_event()
+    with pytest.raises(AttributeError):
+        event.time = 99.0
+
+
+def test_request_response_costs_one_round_trip():
+    bed = Testbed(TestbedConfig(seed=1, latency_local_s=0.01))
+    bed.add_node("a")
+    bed.add_node("b")
+
+    def scenario(env):
+        yield from request_response(bed.net, "a", "b")
+        return env.now
+
+    process = bed.env.process(scenario(bed.env))
+    elapsed = bed.run(until=process)
+    # Two latency-only messages (control payload is modelled as zero-size).
+    assert elapsed == pytest.approx(0.02)
+    assert CONTROL_MSG_MB == 0.0
+
+
+def test_request_response_with_payload_consumes_bandwidth():
+    bed = Testbed(TestbedConfig(seed=1, latency_local_s=0.0))
+    bed.add_node("a", nic_out=100.0, nic_in=100.0)
+    bed.add_node("b", nic_out=100.0, nic_in=100.0)
+
+    def scenario(env):
+        yield from request_response(bed.net, "a", "b",
+                                    request_mb=100.0, response_mb=50.0)
+        return env.now
+
+    process = bed.env.process(scenario(bed.env))
+    elapsed = bed.run(until=process)
+    assert elapsed == pytest.approx(1.5)  # 1 s request + 0.5 s response

@@ -1,0 +1,253 @@
+"""Unit tests for the flow-level max-min fair network model."""
+
+import pytest
+
+from repro.simulation import Environment, FlowNetwork, NetNode, TransferAborted
+
+
+def make_net(env, latency=0.0, **kwargs):
+    net = FlowNetwork(env, latency=latency, **kwargs)
+    return net
+
+
+def test_single_flow_runs_at_bottleneck():
+    env = Environment()
+    net = make_net(env)
+    net.add_node(NetNode("a", capacity_out=100.0, capacity_in=100.0))
+    net.add_node(NetNode("b", capacity_out=50.0, capacity_in=50.0))
+    done = net.transfer("a", "b", size=100.0)
+    flow = env.run(until=done)
+    # Bottleneck is b's 50 MB/s downlink: 100 MB takes 2 s.
+    assert env.now == pytest.approx(2.0)
+    assert flow.finished_at == pytest.approx(2.0)
+
+
+def test_two_flows_share_receiver_fairly():
+    env = Environment()
+    net = make_net(env)
+    net.add_node(NetNode("a", capacity_out=100.0))
+    net.add_node(NetNode("b", capacity_out=100.0))
+    net.add_node(NetNode("sink", capacity_in=100.0))
+    d1 = net.transfer("a", "sink", 100.0)
+    d2 = net.transfer("b", "sink", 100.0)
+    env.run(until=env.all_of([d1, d2]))
+    # Each gets 50 MB/s; both finish at t=2.
+    assert env.now == pytest.approx(2.0)
+
+
+def test_flow_speeds_up_when_competitor_finishes():
+    env = Environment()
+    net = make_net(env)
+    net.add_node(NetNode("a", capacity_out=100.0))
+    net.add_node(NetNode("b", capacity_out=100.0))
+    net.add_node(NetNode("sink", capacity_in=100.0))
+    small = net.transfer("a", "sink", 50.0)
+    large = net.transfer("b", "sink", 150.0)
+    env.run(until=small)
+    t_small = env.now
+    env.run(until=large)
+    t_large = env.now
+    # Phase 1: both at 50 MB/s; small done at t=1 (50MB).
+    assert t_small == pytest.approx(1.0)
+    # Large has 100 MB left, now at full 100 MB/s: finishes at t=2.
+    assert t_large == pytest.approx(2.0)
+
+
+def test_max_min_fairness_with_capped_flow():
+    env = Environment()
+    net = make_net(env)
+    net.add_node(NetNode("a", capacity_out=100.0))
+    net.add_node(NetNode("b", capacity_out=100.0))
+    net.add_node(NetNode("sink", capacity_in=90.0))
+    # One flow capped at 10 MB/s; the other should get the remaining 80.
+    slow = net.transfer("a", "sink", 10.0, rate_cap=10.0)
+    fast = net.transfer("b", "sink", 80.0)
+    env.run(until=env.all_of([slow, fast]))
+    assert env.now == pytest.approx(1.0)
+
+
+def test_latency_delays_message():
+    env = Environment()
+    net = make_net(env, latency=0.25)
+    net.add_node(NetNode("a"))
+    net.add_node(NetNode("b"))
+    done = net.message("a", "b")
+    env.run(until=done)
+    assert env.now == pytest.approx(0.25)
+
+
+def test_latency_callable_per_pair():
+    env = Environment()
+
+    def latency(src, dst):
+        return 1.0 if src.site != dst.site else 0.1
+
+    net = make_net(env, latency=latency)
+    net.add_node(NetNode("a", site="s1"))
+    net.add_node(NetNode("b", site="s2"))
+    net.add_node(NetNode("c", site="s1"))
+    cross = net.message("a", "b")
+    env.run(until=cross)
+    assert env.now == pytest.approx(1.0)
+    local = net.message("a", "c")
+    env.run(until=local)
+    assert env.now == pytest.approx(1.1)
+
+
+def test_backbone_constrains_cross_site_flows():
+    env = Environment()
+    net = make_net(env, backbone_capacity=10.0)
+    net.add_node(NetNode("a", capacity_out=100.0, site="s1"))
+    net.add_node(NetNode("b", capacity_in=100.0, site="s2"))
+    done = net.transfer("a", "b", 10.0)
+    env.run(until=done)
+    # Backbone 10 MB/s is the bottleneck: 10 MB takes 1 s.
+    assert env.now == pytest.approx(1.0)
+
+
+def test_same_site_ignores_backbone():
+    env = Environment()
+    net = make_net(env, backbone_capacity=1.0)
+    net.add_node(NetNode("a", capacity_out=100.0, site="s1"))
+    net.add_node(NetNode("b", capacity_in=100.0, site="s1"))
+    done = net.transfer("a", "b", 100.0)
+    env.run(until=done)
+    assert env.now == pytest.approx(1.0)
+
+
+def test_abort_fails_waiter():
+    env = Environment()
+    net = make_net(env)
+    net.add_node(NetNode("a", capacity_out=10.0))
+    net.add_node(NetNode("b", capacity_in=10.0))
+
+    def proc(env):
+        done = net.transfer("a", "b", 100.0, tag="victim")
+        try:
+            yield done
+        except TransferAborted as exc:
+            return ("aborted", exc.reason, env.now)
+        return "finished"
+
+    def killer(env):
+        yield env.timeout(2.0)
+        net.abort_matching(lambda f: f.tag == "victim", reason="blocked")
+
+    process = env.process(proc(env))
+    env.process(killer(env))
+    result = env.run(until=process)
+    assert result == ("aborted", "blocked", 2.0)
+    assert net.active_flow_count() == 0
+
+
+def test_remove_node_aborts_its_flows():
+    env = Environment()
+    net = make_net(env)
+    net.add_node(NetNode("a", capacity_out=10.0))
+    net.add_node(NetNode("b", capacity_in=10.0))
+
+    def proc(env):
+        done = net.transfer("a", "b", 1000.0)
+        try:
+            yield done
+        except TransferAborted:
+            return "aborted"
+        return "finished"
+
+    def failer(env):
+        yield env.timeout(1.0)
+        net.remove_node("b")
+
+    process = env.process(proc(env))
+    env.process(failer(env))
+    assert env.run(until=process) == "aborted"
+    assert "b" not in net.nodes
+
+
+def test_progress_accounting_total_delivered():
+    env = Environment()
+    net = make_net(env)
+    net.add_node(NetNode("a", capacity_out=100.0))
+    net.add_node(NetNode("b", capacity_in=100.0))
+    done = net.transfer("a", "b", 42.0)
+    env.run(until=done)
+    env.run(until=env.now + 0.001)
+    assert net.total_delivered == pytest.approx(42.0, abs=1e-6)
+
+
+def test_node_load_reports_rates():
+    env = Environment()
+    net = make_net(env)
+    net.add_node(NetNode("a", capacity_out=100.0))
+    net.add_node(NetNode("b", capacity_in=60.0))
+    net.transfer("a", "b", 1000.0)
+
+    def probe(env):
+        yield env.timeout(0.5)
+        out_rate, _ = net.node_load("a")
+        _, in_rate = net.node_load("b")
+        return out_rate, in_rate
+
+    process = env.process(probe(env))
+    out_rate, in_rate = env.run(until=process)
+    assert out_rate == pytest.approx(60.0)
+    assert in_rate == pytest.approx(60.0)
+
+
+def test_many_flows_saturate_shared_sink():
+    env = Environment()
+    net = make_net(env)
+    for i in range(10):
+        net.add_node(NetNode(f"src{i}", capacity_out=100.0))
+    net.add_node(NetNode("sink", capacity_in=100.0))
+    events = [net.transfer(f"src{i}", "sink", 10.0) for i in range(10)]
+    env.run(until=env.all_of(events))
+    # 100 MB total through a 100 MB/s sink: 1 s.
+    assert env.now == pytest.approx(1.0)
+
+
+def test_duplicate_node_rejected():
+    env = Environment()
+    net = make_net(env)
+    net.add_node(NetNode("a"))
+    with pytest.raises(ValueError):
+        net.add_node(NetNode("a"))
+
+
+def test_negative_size_rejected():
+    env = Environment()
+    net = make_net(env)
+    net.add_node(NetNode("a"))
+    net.add_node(NetNode("b"))
+    with pytest.raises(ValueError):
+        net.transfer("a", "b", -1.0)
+
+
+def test_staggered_flows_exact_completion_times():
+    env = Environment()
+    net = make_net(env)
+    net.add_node(NetNode("a", capacity_out=100.0))
+    net.add_node(NetNode("b", capacity_out=100.0))
+    net.add_node(NetNode("sink", capacity_in=100.0))
+    first = net.transfer("a", "sink", 100.0)
+
+    finish_times = {}
+
+    def second_starter(env):
+        yield env.timeout(0.5)
+        second = net.transfer("b", "sink", 100.0)
+        yield second
+        finish_times["second"] = env.now
+
+    def first_waiter(env):
+        yield first
+        finish_times["first"] = env.now
+
+    env.process(second_starter(env))
+    env.process(first_waiter(env))
+    env.run()
+    # t<0.5: first alone at 100 MB/s -> 50 MB moved.
+    # t in [0.5, 1.5]: both at 50 MB/s -> first done at 1.5 (50MB left).
+    # second then has 50 MB left at 100 MB/s -> done at 2.0.
+    assert finish_times["first"] == pytest.approx(1.5)
+    assert finish_times["second"] == pytest.approx(2.0)

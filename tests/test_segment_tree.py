@@ -1,0 +1,180 @@
+"""Unit + property tests for the copy-on-write segment-tree metadata."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blobseer.blob import ChunkDescriptor
+from repro.blobseer.metadata import LocalKV
+from repro.blobseer.segment_tree import (
+    node_key,
+    tree_node_count,
+    tree_query,
+    tree_update,
+)
+
+
+def drain(generator):
+    """Run a KV-generator to completion synchronously (LocalKV yields nothing)."""
+    try:
+        while True:
+            next(generator)
+    except StopIteration as stop:
+        return stop.value
+
+
+def make_descriptors(blob_id, first, count, version=1):
+    return {
+        first + i: ChunkDescriptor(
+            blob_id=blob_id,
+            storage_key=f"b{blob_id}.w{version}.c{first + i}",
+            size_mb=64.0,
+            replicas=["p0"],
+        )
+        for i in range(count)
+    }
+
+
+CAP = 16  # small capacity for readable tests
+
+
+def test_single_write_and_query():
+    kv = LocalKV()
+    descs = make_descriptors(1, 0, 4)
+    drain(tree_update(kv, 1, 1, None, descs, capacity=CAP))
+    result = drain(tree_query(kv, 1, 1, 0, 4, capacity=CAP))
+    assert sorted(result) == [0, 1, 2, 3]
+    assert result[2].storage_key == "b1.w1.c2"
+
+
+def test_query_subrange():
+    kv = LocalKV()
+    drain(tree_update(kv, 1, 1, None, make_descriptors(1, 0, 8), capacity=CAP))
+    result = drain(tree_query(kv, 1, 1, 2, 5, capacity=CAP))
+    assert sorted(result) == [2, 3, 4]
+
+
+def test_holes_are_absent():
+    kv = LocalKV()
+    drain(tree_update(kv, 1, 1, None, make_descriptors(1, 4, 2), capacity=CAP))
+    result = drain(tree_query(kv, 1, 1, 0, CAP, capacity=CAP))
+    assert sorted(result) == [4, 5]
+
+
+def test_cow_versioning_preserves_old_version():
+    kv = LocalKV()
+    v1 = make_descriptors(1, 0, 4, version=1)
+    drain(tree_update(kv, 1, 1, None, v1, capacity=CAP))
+    v2 = make_descriptors(1, 2, 2, version=2)
+    drain(tree_update(kv, 1, 2, 1, v2, capacity=CAP))
+
+    # Old version still reads the original chunks.
+    old = drain(tree_query(kv, 1, 1, 0, 4, capacity=CAP))
+    assert old[2].storage_key == "b1.w1.c2"
+    # New version sees the overwrite in [2,4) and inherits [0,2).
+    new = drain(tree_query(kv, 1, 2, 0, 4, capacity=CAP))
+    assert new[0].storage_key == "b1.w1.c0"
+    assert new[2].storage_key == "b1.w2.c2"
+    assert new[3].storage_key == "b1.w2.c3"
+
+
+def test_append_chain_of_versions():
+    kv = LocalKV()
+    prev = None
+    for version in range(1, 5):
+        descs = make_descriptors(1, (version - 1) * 2, 2, version=version)
+        drain(tree_update(kv, 1, version, prev, descs, capacity=CAP))
+        prev = version
+    result = drain(tree_query(kv, 1, 4, 0, 8, capacity=CAP))
+    assert sorted(result) == list(range(8))
+    for i in range(8):
+        assert result[i].storage_key == f"b1.w{i // 2 + 1}.c{i}"
+
+
+def test_update_write_count_is_bounded():
+    kv = LocalKV()
+    span = 4
+    writes = drain(tree_update(kv, 1, 1, None, make_descriptors(1, 0, span), capacity=CAP))
+    assert writes <= tree_node_count(span, CAP)
+
+
+def test_shared_subtrees_not_rewritten():
+    kv = LocalKV()
+    drain(tree_update(kv, 1, 1, None, make_descriptors(1, 0, CAP), capacity=CAP))
+    before = len(kv)
+    # Touch a single chunk: only one root-to-leaf path is rewritten.
+    drain(tree_update(kv, 1, 2, 1, make_descriptors(1, 7, 1, version=2), capacity=CAP))
+    path_length = CAP.bit_length()  # log2(CAP) + 1 nodes
+    assert len(kv) - before == path_length
+
+
+def test_non_contiguous_descriptors_rejected():
+    kv = LocalKV()
+    descs = make_descriptors(1, 0, 1)
+    descs.update(make_descriptors(1, 3, 1))
+    with pytest.raises(ValueError):
+        drain(tree_update(kv, 1, 1, None, descs, capacity=CAP))
+
+
+def test_empty_update_rejected():
+    kv = LocalKV()
+    with pytest.raises(ValueError):
+        drain(tree_update(kv, 1, 1, None, {}, capacity=CAP))
+
+
+def test_out_of_capacity_rejected():
+    kv = LocalKV()
+    with pytest.raises(ValueError):
+        drain(tree_update(kv, 1, 1, None, make_descriptors(1, CAP, 1), capacity=CAP))
+
+
+def test_bad_capacity_rejected():
+    kv = LocalKV()
+    with pytest.raises(ValueError):
+        drain(tree_update(kv, 1, 1, None, make_descriptors(1, 0, 1), capacity=13))
+
+
+def test_query_range_validation():
+    kv = LocalKV()
+    with pytest.raises(ValueError):
+        drain(tree_query(kv, 1, 1, 4, 2, capacity=CAP))
+
+
+def test_node_key_uniqueness():
+    keys = {
+        node_key(b, v, lo, hi)
+        for b in (1, 2)
+        for v in (1, 2)
+        for lo, hi in ((0, 8), (0, 4), (4, 8))
+    }
+    assert len(keys) == 12
+
+
+# -- property-based: version isolation under arbitrary write sequences ---------
+@settings(max_examples=60, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, CAP - 1), st.integers(1, CAP)).map(
+            lambda t: (t[0], min(t[1], CAP - t[0]))
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_versions_match_reference_model(writes):
+    """Each version's full-range query equals a naive dict-of-arrays model."""
+    kv = LocalKV()
+    reference = {}  # version -> {index: storage_key}
+    current = {}
+    prev = None
+    for version, (first, count) in enumerate(writes, start=1):
+        descs = make_descriptors(1, first, count, version=version)
+        drain(tree_update(kv, 1, version, prev, descs, capacity=CAP))
+        current = dict(current)
+        for index, descriptor in descs.items():
+            current[index] = descriptor.storage_key
+        reference[version] = current
+        prev = version
+
+    for version, expected in reference.items():
+        got = drain(tree_query(kv, 1, version, 0, CAP, capacity=CAP))
+        assert {i: d.storage_key for i, d in got.items()} == expected
