@@ -4,14 +4,30 @@ Every bench regenerates one of the paper's reported results, prints the
 rows in the paper's terms, saves them under ``benchmarks/results/``, and
 asserts the qualitative *shape* (who wins, by roughly what factor, where
 crossovers fall) so regressions fail loudly.
+
+Besides the human-readable ``<exp_id>.txt`` table, :func:`report` writes
+a machine-readable ``BENCH_<exp_id>.json`` (title, rows, sim-time,
+wall-clock, event count, headline metric) so the perf trajectory of the
+repo can be tracked across commits; :func:`once` back-fills the measured
+wall-clock into every JSON written during the timed run.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import List, Sequence
+import time
+from typing import Any, Dict, List, Optional, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: JSON files written by report() during the currently-timed run; once()
+#: patches their wall_clock_s when the run finishes.
+_pending_json: List[str] = []
+
+#: Wall-clock of the last completed once() run, for report() calls made
+#: *after* the timed section (the common bench layout).
+_last_wall_s: Optional[float] = None
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -25,14 +41,32 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     return "\n".join(lines)
 
 
+def env_stats(env) -> Dict[str, Any]:
+    """Kernel counters for the JSON dump, from any Environment."""
+    stats: Dict[str, Any] = {
+        "sim_time_s": env.now,
+        "events": env.events_processed,
+    }
+    if env.profiler is not None:
+        stats.update(env.profiler.snapshot())
+    return stats
+
+
 def report(
     exp_id: str,
     title: str,
     headers: Sequence[str],
     rows: Sequence[Sequence[object]],
     notes: Sequence[str] = (),
+    stats: Optional[Dict[str, Any]] = None,
+    headline: Optional[Dict[str, Any]] = None,
 ) -> str:
-    """Print + persist one experiment's reproduced table."""
+    """Print + persist one experiment's reproduced table.
+
+    *stats* carries run-level numbers (see :func:`env_stats`); *headline*
+    is the one metric this bench exists to track, e.g.
+    ``{"metric": "overhead_pct", "value": 0.02}``.
+    """
     body = [f"== {exp_id}: {title} ==", format_table(headers, rows)]
     for note in notes:
         body.append(f"  note: {note}")
@@ -41,13 +75,68 @@ def report(
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{exp_id}.txt"), "w") as handle:
         handle.write(text + "\n")
+
+    payload: Dict[str, Any] = {
+        "exp_id": exp_id,
+        "title": title,
+        "headers": list(headers),
+        "rows": [[_jsonable(c) for c in row] for row in rows],
+        "notes": list(notes),
+        "sim_time_s": None,
+        # Back-filled by once() when report() runs inside the timed
+        # section; already known when it runs after.
+        "wall_clock_s": _last_wall_s,
+        "events": None,
+        "headline": headline,
+    }
+    if stats:
+        for key, value in stats.items():
+            payload[key] = _jsonable(value)
+    json_path = os.path.join(RESULTS_DIR, f"BENCH_{exp_id}.json")
+    with open(json_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    _pending_json.append(json_path)
     return text
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
 
 
 def once(benchmark, func):
     """Run a full scenario exactly once under pytest-benchmark timing.
 
     Simulation runs are deterministic; repeating them only re-measures
-    wall time of identical work, so one round suffices.
+    wall time of identical work, so one round suffices.  The measured
+    wall-clock is patched into every ``BENCH_*.json`` the run produced.
     """
-    return benchmark.pedantic(func, rounds=1, iterations=1)
+
+    def timed():
+        global _last_wall_s
+        _last_wall_s = None
+        _pending_json.clear()
+        started = time.perf_counter()
+        result = func()
+        elapsed = time.perf_counter() - started
+        _last_wall_s = elapsed
+        for json_path in _pending_json:
+            try:
+                with open(json_path) as handle:
+                    payload = json.load(handle)
+                payload["wall_clock_s"] = elapsed
+                with open(json_path, "w") as handle:
+                    json.dump(payload, handle, indent=2, sort_keys=True)
+                    handle.write("\n")
+            except (OSError, ValueError):  # pragma: no cover - best effort
+                pass
+        _pending_json.clear()
+        return result
+
+    return benchmark.pedantic(timed, rounds=1, iterations=1)

@@ -65,6 +65,8 @@ def test_exp_c2_dos_throughput_sweep(benchmark):
             "paper: all-correct constant ~110 MB/s; attacked w/o security "
             "< 50 MB/s beyond 30 clients; security restores throughput",
         ],
+        headline={"metric": "attacked_unprotected_mbps_at_max_clients",
+                  "value": rows[-1][2]},
     )
     # Shape claim 1: all-correct stays roughly constant (~110 MB/s zone).
     correct_values = [c for _n, c, _a, _p in rows]

@@ -12,7 +12,7 @@ Scaled for simulation wall time: the 80-client point uses 8 MB chunks
 count past 10,000.
 """
 
-from _util import once, report
+from _util import env_stats, once, report
 
 from repro.workloads import build_write_scenario
 
@@ -36,23 +36,25 @@ def run_point(clients: int, with_monitoring: bool, chunk_mb: float):
     parameters = (
         scenario.monitoring.parameter_count() if scenario.monitoring else 0
     )
-    return throughput, parameters
+    return throughput, parameters, env_stats(scenario.deployment.env)
 
 
 def test_exp_b_introspection_overhead(benchmark):
     def run():
         rows = []
+        stats = None
         for clients in CLIENT_SWEEP:
             chunk = 8.0 if clients >= 80 else 64.0
-            base, _ = run_point(clients, with_monitoring=False, chunk_mb=chunk)
-            monitored, parameters = run_point(clients, with_monitoring=True,
-                                              chunk_mb=chunk)
+            base, _, _ = run_point(clients, with_monitoring=False,
+                                   chunk_mb=chunk)
+            monitored, parameters, stats = run_point(
+                clients, with_monitoring=True, chunk_mb=chunk)
             overhead = (base - monitored) / base * 100.0 if base else 0.0
             rows.append((clients, f"{base:.1f}", f"{monitored:.1f}",
                          f"{overhead:+.2f}%", parameters))
-        return rows
+        return rows, stats
 
-    rows = once(benchmark, run)
+    rows, stats = once(benchmark, run)
     report(
         "EXP-B",
         "introspection overhead (150 providers, 1 GB per client)",
@@ -62,6 +64,9 @@ def test_exp_b_introspection_overhead(benchmark):
             "paper: throughput not influenced by introspection;",
             "paper: ~10,000 monitoring parameters generated at 80 clients",
         ],
+        stats=stats,
+        headline={"metric": "overhead_pct_at_80_clients",
+                  "value": float(rows[-1][3].rstrip("%"))},
     )
     for clients, base, monitored, overhead, parameters in rows:
         base_v, mon_v = float(base), float(monitored)

@@ -5,17 +5,25 @@ every panel the paper's visualization tool provided: physical
 parameters, per-provider and system storage, BLOB access patterns,
 BLOB distribution, and client throughput.
 
+The run executes with cross-layer telemetry enabled and also writes a
+Chrome trace-event file (``introspection_dashboard.trace.json`` by
+default) — open it in https://ui.perfetto.dev or chrome://tracing to
+see the span trees behind the dashboard numbers.
+
 Run:  python examples/introspection_dashboard.py
 """
 
+from repro import telemetry
 from repro.blobseer import BlobSeerConfig, BlobSeerDeployment
 from repro.cluster import TestbedConfig
 from repro.introspection import Dashboard, IntrospectionLayer
 from repro.monitoring import MonitoringConfig, MonitoringStack
 from repro.workloads import CorrectReader, CorrectWriter
 
+DEFAULT_TRACE_PATH = "introspection_dashboard.trace.json"
 
-def main() -> None:
+
+def main(trace_path: str = DEFAULT_TRACE_PATH, until: float = 150.0) -> None:
     deployment = BlobSeerDeployment(BlobSeerConfig(
         data_providers=10,
         metadata_providers=2,
@@ -31,6 +39,7 @@ def main() -> None:
     ))
     monitoring.attach(deployment)
     env = deployment.env
+    tele = telemetry.enable(deployment)
 
     writers = [
         CorrectWriter(deployment.new_client(f"w{i}"), op_mb=512.0,
@@ -51,7 +60,7 @@ def main() -> None:
         yield env.process(reader.run(env))
 
     env.process(reader_when_ready(env))
-    deployment.run(until=150.0)
+    deployment.run(until=until)
 
     layer = IntrospectionLayer(monitoring.repository)
     dashboard = Dashboard(layer)
@@ -61,6 +70,11 @@ def main() -> None:
     print(f"monitoring: {monitoring.events_emitted} events emitted, "
           f"{monitoring.repository.stored_count} stored, "
           f"{monitoring.parameter_count()} distinct parameters")
+
+    tele.write_chrome_trace(trace_path)
+    print(f"telemetry: {len(tele.tracer.spans)} spans on "
+          f"{len(tele.tracer.tracks())} tracks -> {trace_path} "
+          f"(open in https://ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@ Subpackages
 - ``repro.adaptation``    self-configuration & self-optimization engines
 - ``repro.cloud``         S3-compatible (Cumulus-style) gateway
 - ``repro.workloads``     correct / malicious client behaviours, scenarios
+- ``repro.telemetry``     sim-time tracing spans, metrics, kernel profiling
 """
 
 __version__ = "1.0.0"
@@ -25,6 +26,7 @@ from . import (
     monitoring,
     security,
     simulation,
+    telemetry,
     workloads,
 )
 
@@ -37,6 +39,7 @@ __all__ = [
     "security",
     "adaptation",
     "cloud",
+    "telemetry",
     "workloads",
     "__version__",
 ]

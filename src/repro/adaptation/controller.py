@@ -58,6 +58,20 @@ class ControlLoop:
             if decisions:
                 self.decisions.extend(decisions)
                 self._cooldown_until = env.now + self.cooldown_s
+                tracer = env.tracer
+                metrics = env.metrics
+                for decision in decisions:
+                    if tracer.enabled:
+                        tracer.instant(
+                            f"adapt.{decision.action}", track=self.name,
+                            cat="adaptation", engine=decision.engine,
+                            **{k: v for k, v in decision.detail.items()
+                               if isinstance(v, (str, int, float, bool))},
+                        )
+                    if metrics is not None:
+                        metrics.counter(
+                            f"adaptation.{decision.action}"
+                        ).inc()
 
     def decisions_of(self, action: str) -> List[AdaptationDecision]:
         return [d for d in self.decisions if d.action == action]

@@ -115,7 +115,10 @@ class BlobSeerClient:
         """Generator: create an empty BLOB; returns its id."""
         self.access.authorize(self.client_id, "create")
         start = self.env.now
-        blob_id = yield from self.vm.remote_create_blob(self.node, chunk_size_mb)
+        with self.env.tracer.span("client.create", track=self.node.name,
+                                  cat="client", client=self.client_id) as span:
+            blob_id = yield from self.vm.remote_create_blob(self.node, chunk_size_mb)
+            span.annotate(blob=blob_id)
         self._chunk_size[blob_id] = chunk_size_mb
         self._record("create", blob_id, 0.0, start, version=0)
         return blob_id
@@ -139,10 +142,14 @@ class BlobSeerClient:
         self.access.authorize(self.client_id, "read")
         start = self.env.now
         self._emit(EV_OP_START, blob_id, op="read", size_mb=size_mb)
+        tracer = self.env.tracer
+        root = tracer.begin("client.read", track=self.node.name, cat="client",
+                            client=self.client_id, blob=blob_id, size_mb=size_mb)
         try:
-            latest, blob_size, chunk_size = yield from self.vm.remote_get_latest(
-                self.node, blob_id
-            )
+            with tracer.span("client.lookup", cat="client"):
+                latest, blob_size, chunk_size = yield from self.vm.remote_get_latest(
+                    self.node, blob_id
+                )
             self._chunk_size[blob_id] = chunk_size
             if version is None:
                 version = latest
@@ -153,43 +160,55 @@ class BlobSeerClient:
                     f"read [{offset_mb},{offset_mb + size_mb}) beyond size {blob_size}"
                 )
             first, last = chunk_span(offset_mb, size_mb, chunk_size)
-            descriptors = yield from tree_query(
-                self.meta, blob_id, version, first, last,
-                capacity=self.vm.tree_capacity,
-            )
-            rate_cap = self.access.rate_cap(self.client_id)
-            fetches = []
-            for index in range(first, last):
-                descriptor = descriptors.get(index)
-                if descriptor is None:
-                    continue  # hole: reads as zeros, nothing to fetch
-                provider = self._pick_replica(descriptor)
-                fetches.append(
-                    provider.serve(self.node, descriptor, self.client_id, rate_cap)
+            with tracer.span("client.metadata_read", cat="client",
+                             version=version, chunks=last - first):
+                descriptors = yield from tree_query(
+                    self.meta, blob_id, version, first, last,
+                    capacity=self.vm.tree_capacity,
                 )
-            if fetches:
-                yield self.env.all_of(fetches)
+            rate_cap = self.access.rate_cap(self.client_id)
+            with tracer.span("client.fetch", cat="client") as fetch_span:
+                fetches = []
+                for index in range(first, last):
+                    descriptor = descriptors.get(index)
+                    if descriptor is None:
+                        continue  # hole: reads as zeros, nothing to fetch
+                    provider = self._pick_replica(descriptor)
+                    fetches.append(
+                        provider.serve(self.node, descriptor, self.client_id, rate_cap)
+                    )
+                fetch_span.annotate(chunks=len(fetches))
+                if fetches:
+                    yield self.env.all_of(fetches)
             result = self._record("read", blob_id, size_mb, start, version=version)
+            root.finish(ok=True, version=version)
             return result
         except (BlobSeerError, NodeDownError, TransferAborted) as exc:
             result = self._record(
                 "read", blob_id, size_mb, start, ok=False, error=str(exc)
             )
+            root.finish(ok=False, error=str(exc))
             raise
+        finally:
+            root.finish()
 
     # -- write internals -----------------------------------------------------------
     def _write_op(self, op: str, blob_id: int, offset_mb: Optional[float], size_mb: float):
         self.access.authorize(self.client_id, op)
         start = self.env.now
         self._emit(EV_OP_START, blob_id, op=op, size_mb=size_mb)
+        tracer = self.env.tracer
+        root = tracer.begin(f"client.{op}", track=self.node.name, cat="client",
+                            client=self.client_id, blob=blob_id, size_mb=size_mb)
         ticket: Optional[Ticket] = None
         in_critical = False
         try:
             chunk_size = self._chunk_size.get(blob_id)
             if chunk_size is None:
-                _v, _s, chunk_size = yield from self.vm.remote_get_latest(
-                    self.node, blob_id
-                )
+                with tracer.span("client.lookup", cat="client"):
+                    _v, _s, chunk_size = yield from self.vm.remote_get_latest(
+                        self.node, blob_id
+                    )
                 self._chunk_size[blob_id] = chunk_size
 
             count = size_mb / chunk_size
@@ -203,45 +222,50 @@ class BlobSeerClient:
                 chunk_span(offset_mb, size_mb, chunk_size)  # alignment check
 
             # 1. allocate providers
-            placement = yield from self.pm.remote_allocate(
-                self.node, count, self.replication, self.client_id
-            )
+            with tracer.span("client.allocate", cat="client", chunks=count):
+                placement = yield from self.pm.remote_allocate(
+                    self.node, count, self.replication, self.client_id
+                )
 
             # 2. push chunks to every replica in parallel; chunks whose
             #    push failed (e.g. the target provider crashed mid-write)
             #    are retried on freshly allocated providers.
             token = next(self._wseq)
             rate_cap = self.access.rate_cap(self.client_id)
-            descriptors: List[ChunkDescriptor] = []
-            failures: List[ChunkDescriptor] = []
-            pushes = []
-            for i, replicas in enumerate(placement):
-                descriptor = ChunkDescriptor(
-                    blob_id=blob_id,
-                    storage_key=f"b{blob_id}.{self.client_id}.w{token}.c{i}",
-                    size_mb=chunk_size,
-                    replicas=[p.provider_id for p in replicas],
-                )
-                descriptors.append(descriptor)
-                pushes.append(self.env.process(
-                    self._push_chunk(descriptor, replicas, rate_cap, failures),
-                    name=f"push-{self.client_id}",
-                ))
-            yield self.env.all_of(pushes)
-            for _attempt in range(2):
-                if not failures:
-                    break
-                self.access.authorize(self.client_id, op)  # still welcome?
-                failures = yield from self._retry_pushes(failures, rate_cap)
-            if failures:
-                raise NoProvidersAvailable(
-                    f"could not store {len(failures)} chunk(s) after retries"
-                )
+            with tracer.span("client.chunk_transfer", cat="client",
+                             chunks=count) as push_span:
+                descriptors: List[ChunkDescriptor] = []
+                failures: List[ChunkDescriptor] = []
+                pushes = []
+                for i, replicas in enumerate(placement):
+                    descriptor = ChunkDescriptor(
+                        blob_id=blob_id,
+                        storage_key=f"b{blob_id}.{self.client_id}.w{token}.c{i}",
+                        size_mb=chunk_size,
+                        replicas=[p.provider_id for p in replicas],
+                    )
+                    descriptors.append(descriptor)
+                    pushes.append(self.env.process(
+                        self._push_chunk(descriptor, replicas, rate_cap, failures),
+                        name=f"push-{self.client_id}",
+                    ))
+                yield self.env.all_of(pushes)
+                for _attempt in range(2):
+                    if not failures:
+                        break
+                    self.access.authorize(self.client_id, op)  # still welcome?
+                    push_span.annotate(retried=len(failures))
+                    failures = yield from self._retry_pushes(failures, rate_cap)
+                if failures:
+                    raise NoProvidersAvailable(
+                        f"could not store {len(failures)} chunk(s) after retries"
+                    )
 
             # 3. ticket (serializes metadata per blob)
-            ticket = yield from self.vm.remote_ticket(
-                self.node, blob_id, size_mb, self.client_id, offset_mb
-            )
+            with tracer.span("client.ticket", cat="client"):
+                ticket = yield from self.vm.remote_ticket(
+                    self.node, blob_id, size_mb, self.client_id, offset_mb
+                )
             in_critical = True
 
             # 4. metadata: copy-on-write segment tree nodes
@@ -251,21 +275,28 @@ class BlobSeerClient:
                 descriptor.chunk_index = first_index + i
                 descriptor.version = ticket.version
                 tree_descriptors[first_index + i] = descriptor
-            yield from tree_update(
-                self.meta, blob_id, ticket.version, ticket.prev_version,
-                tree_descriptors, capacity=self.vm.tree_capacity,
-            )
+            with tracer.span("client.metadata_write", cat="client",
+                             version=ticket.version):
+                yield from tree_update(
+                    self.meta, blob_id, ticket.version, ticket.prev_version,
+                    tree_descriptors, capacity=self.vm.tree_capacity,
+                )
 
             # 5. publish
-            yield from self.vm.remote_complete(self.node, ticket)
+            with tracer.span("client.publish", cat="client"):
+                yield from self.vm.remote_complete(self.node, ticket)
             in_critical = False
             result = self._record(op, blob_id, size_mb, start, version=ticket.version)
+            root.finish(ok=True, version=ticket.version)
             return result
         except (BlobSeerError, NodeDownError, TransferAborted) as exc:
             if ticket is not None and in_critical:
                 self.vm.abandon(ticket)
             result = self._record(op, blob_id, size_mb, start, ok=False, error=str(exc))
+            root.finish(ok=False, error=str(exc))
             raise
+        finally:
+            root.finish()
 
     def _push_chunk(self, descriptor, replicas, rate_cap, failures):
         """Process: push one chunk to all its replicas; on any failure,
@@ -349,6 +380,14 @@ class BlobSeerClient:
             version=version,
         )
         self.history.append(result)
+        metrics = self.env.metrics
+        if metrics is not None:
+            metrics.counter(f"client.{op}_ops").inc()
+            if not ok:
+                metrics.counter(f"client.{op}_errors").inc()
+            metrics.histogram(f"client.{op}_duration_s").observe(result.duration_s)
+            if ok and size_mb > 0:
+                metrics.sample("client.throughput_mbps", result.throughput_mbps)
         self._emit(
             EV_OP_END, blob_id,
             op=op, size_mb=size_mb, ok=ok,

@@ -136,19 +136,24 @@ class DataProvider:
             raise ProviderUnavailable(self.provider_id)
         if self.free_mb < descriptor.size_mb:
             raise StorageFull(self.provider_id, descriptor.size_mb, self.free_mb)
-        yield self.net.transfer(
-            src.name, self.node.name, descriptor.size_mb,
-            rate_cap=rate_cap, tag=client_id,
-        )
-        if not self.node.alive or self.decommissioned:
-            raise ProviderUnavailable(self.provider_id, "died during ingest")
-        # Small CPU cost per chunk (checksumming, indexing).
-        if self.write_cpu_s > 0:
-            yield from self.node.compute(self.write_cpu_s)
-        # Durable commit: FIFO disk queue, bounded service rate.
-        yield from self._disk_io(descriptor.size_mb)
-        if not self.node.alive:
-            raise NodeDownError(self.node, "ingest commit")
+        with self.env.tracer.span(
+            "provider.ingest", track=self.node.name, cat="provider",
+            chunk=descriptor.storage_key, size_mb=descriptor.size_mb,
+            client=client_id,
+        ):
+            yield self.net.transfer(
+                src.name, self.node.name, descriptor.size_mb,
+                rate_cap=rate_cap, tag=client_id,
+            )
+            if not self.node.alive or self.decommissioned:
+                raise ProviderUnavailable(self.provider_id, "died during ingest")
+            # Small CPU cost per chunk (checksumming, indexing).
+            if self.write_cpu_s > 0:
+                yield from self.node.compute(self.write_cpu_s)
+            # Durable commit: FIFO disk queue, bounded service rate.
+            yield from self._disk_io(descriptor.size_mb)
+            if not self.node.alive:
+                raise NodeDownError(self.node, "ingest commit")
         self.node.disk.put(descriptor.size_mb)
         if descriptor.created_at == 0.0:
             descriptor.created_at = self.env.now
@@ -183,14 +188,19 @@ class DataProvider:
             raise BlobSeerError(
                 f"provider {self.provider_id} does not hold {descriptor.storage_key}"
             )
-        # Fetch from disk (same FIFO service queue as writes).
-        yield from self._disk_io(descriptor.size_mb)
-        if not self.node.alive:
-            raise NodeDownError(self.node, "serve read")
-        yield self.net.transfer(
-            self.node.name, dst.name, descriptor.size_mb,
-            rate_cap=rate_cap, tag=client_id,
-        )
+        with self.env.tracer.span(
+            "provider.serve", track=self.node.name, cat="provider",
+            chunk=descriptor.storage_key, size_mb=descriptor.size_mb,
+            client=client_id,
+        ):
+            # Fetch from disk (same FIFO service queue as writes).
+            yield from self._disk_io(descriptor.size_mb)
+            if not self.node.alive:
+                raise NodeDownError(self.node, "serve read")
+            yield self.net.transfer(
+                self.node.name, dst.name, descriptor.size_mb,
+                rate_cap=rate_cap, tag=client_id,
+            )
         descriptor.last_access = self.env.now
         descriptor.read_count += 1
         self.chunks_read += 1

@@ -121,13 +121,17 @@ class ProviderManager:
         """Generator: the client-visible allocation RPC (adds network cost)."""
         if not self.node.alive:
             raise NodeDownError(self.node, "allocate")
-        yield self.net.transfer(caller.name, self.node.name, CONTROL_MSG_MB)
-        if self.allocation_cpu_s > 0:
-            yield from self.node.compute(self.allocation_cpu_s)
-        placement = self.allocate(chunk_count, replication, client_id)
-        # The reply carries the placement map; size grows with chunk count.
-        reply_mb = CONTROL_MSG_MB * max(1, chunk_count // 16)
-        yield self.net.transfer(self.node.name, caller.name, reply_mb)
+        with self.env.tracer.span(
+            "pm.allocate", track=self.node.name, cat="rpc",
+            caller=caller.name, chunks=chunk_count, replication=replication,
+        ):
+            yield self.net.transfer(caller.name, self.node.name, CONTROL_MSG_MB)
+            if self.allocation_cpu_s > 0:
+                yield from self.node.compute(self.allocation_cpu_s)
+            placement = self.allocate(chunk_count, replication, client_id)
+            # The reply carries the placement map; size grows with chunk count.
+            reply_mb = CONTROL_MSG_MB * max(1, chunk_count // 16)
+            yield self.net.transfer(self.node.name, caller.name, reply_mb)
         return placement
 
     # -- introspection ----------------------------------------------------------

@@ -24,7 +24,22 @@ def request_response(
     callee: NetNode | str,
     request_mb: float = CONTROL_MSG_MB,
     response_mb: float = CONTROL_MSG_MB,
+    op: str = "rpc",
 ):
-    """Generator: one round trip between two live nodes."""
-    yield net.transfer(caller, callee, request_mb)
-    yield net.transfer(callee, caller, response_mb)
+    """Generator: one round trip between two live nodes.
+
+    When tracing is enabled the round trip becomes an ``rpc`` span on the
+    caller's track, so request/response latency shows up in the trace.
+    """
+    tracer = net.env.tracer
+    if tracer.enabled:
+        caller_name = caller if isinstance(caller, str) else caller.name
+        callee_name = callee if isinstance(callee, str) else callee.name
+        with tracer.span(op, track=caller_name, cat="rpc",
+                         callee=callee_name, request_mb=request_mb,
+                         response_mb=response_mb):
+            yield net.transfer(caller, callee, request_mb)
+            yield net.transfer(callee, caller, response_mb)
+    else:
+        yield net.transfer(caller, callee, request_mb)
+        yield net.transfer(callee, caller, response_mb)

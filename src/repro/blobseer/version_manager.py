@@ -162,15 +162,23 @@ class VersionManager:
         info.latest = version
         info.size_mb = record.size_mb
         self.versions_published += 1
+        metrics = self.env.metrics
+        if metrics is not None:
+            metrics.counter("vm.versions_published").inc()
+            metrics.histogram("vm.publish_latency_s").observe(
+                self.env.now - record.ticket_time
+            )
         self._emit(EV_PUBLISH, client_id=record.writer, blob_id=blob_id,
                    version=version, blob_size_mb=record.size_mb,
                    latency_s=self.env.now - record.ticket_time)
 
     # -- remote operations (what clients call) -------------------------------------
     def remote_create_blob(self, caller: PhysicalNode, chunk_size_mb: float):
-        yield from self._roundtrip_in(caller)
-        blob_id = self.create_blob(chunk_size_mb)
-        yield from self._roundtrip_out(caller)
+        with self.env.tracer.span("vm.create_blob", track=self.node.name,
+                                  cat="rpc", caller=caller.name):
+            yield from self._roundtrip_in(caller)
+            blob_id = self.create_blob(chunk_size_mb)
+            yield from self._roundtrip_out(caller)
         return blob_id
 
     def remote_ticket(
@@ -182,25 +190,32 @@ class VersionManager:
         offset_mb: Optional[float] = None,
     ):
         """Generator: blocks until the per-blob metadata lock is acquired."""
-        yield from self._roundtrip_in(caller)
-        lock = self._locks.get(blob_id)
-        if lock is None:
-            raise BlobNotFound(blob_id)
-        request = lock.request()
-        yield request
-        ticket = self._issue_ticket(blob_id, size_mb, writer, offset_mb)
-        self._held[ticket.version_key()] = request
-        yield from self._roundtrip_out(caller)
+        # The span covers lock queueing, so ticket contention is visible
+        # in the trace as stacked vm.ticket spans.
+        with self.env.tracer.span("vm.ticket", track=self.node.name,
+                                  cat="rpc", blob=blob_id, writer=writer) as span:
+            yield from self._roundtrip_in(caller)
+            lock = self._locks.get(blob_id)
+            if lock is None:
+                raise BlobNotFound(blob_id)
+            request = lock.request()
+            yield request
+            ticket = self._issue_ticket(blob_id, size_mb, writer, offset_mb)
+            span.annotate(version=ticket.version)
+            self._held[ticket.version_key()] = request
+            yield from self._roundtrip_out(caller)
         return ticket
 
     def remote_complete(self, caller: PhysicalNode, ticket: Ticket):
         """Generator: publish the version and release the blob lock."""
-        yield from self._roundtrip_in(caller)
-        self._publish(ticket.blob_id, ticket.version)
-        request = self._held.pop(ticket.version_key(), None)
-        if request is not None:
-            self._locks[ticket.blob_id].release(request)
-        yield from self._roundtrip_out(caller)
+        with self.env.tracer.span("vm.publish", track=self.node.name, cat="rpc",
+                                  blob=ticket.blob_id, version=ticket.version):
+            yield from self._roundtrip_in(caller)
+            self._publish(ticket.blob_id, ticket.version)
+            request = self._held.pop(ticket.version_key(), None)
+            if request is not None:
+                self._locks[ticket.blob_id].release(request)
+            yield from self._roundtrip_out(caller)
         return ticket.version
 
     def abandon(self, ticket: Ticket) -> None:

@@ -118,7 +118,20 @@ class DetectionEngine:
         """Generator: the periodic scan loop (start with ``env.process``)."""
         while True:
             yield env.timeout(self.scan_interval_s)
-            self.scan_once(env.now)
+            found = self.scan_once(env.now)
+            if found:
+                tracer = env.tracer
+                metrics = env.metrics
+                for violation in found:
+                    if tracer.enabled:
+                        tracer.instant(
+                            "security.violation", track="detection-engine",
+                            cat="security", client=violation.client_id,
+                            policy=violation.policy.name,
+                            occurrence=violation.occurrence,
+                        )
+                    if metrics is not None:
+                        metrics.counter("security.violations").inc()
 
     # -- reporting ------------------------------------------------------------------
     def first_detection(self, client_id: str) -> Optional[float]:

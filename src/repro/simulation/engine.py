@@ -12,6 +12,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Iterable, Optional
 
+from ..telemetry.tracer import NULL_TRACER
 from .events import (
     AllOf,
     AnyOf,
@@ -41,6 +42,13 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Total events processed over the environment's lifetime.
+        self.events_processed = 0
+        #: Telemetry hooks (see ``repro.telemetry``).  The defaults cost
+        #: nothing: a shared NullTracer and two ``is not None`` checks.
+        self.tracer = NULL_TRACER
+        self.metrics = None
+        self.profiler = None
 
     # -- clock -------------------------------------------------------------
     @property
@@ -94,6 +102,9 @@ class Environment:
         if when < self._now:  # pragma: no cover - heap invariant guard
             raise SimulationError("event scheduled in the past")
         self._now = when
+        self.events_processed += 1
+        if self.profiler is not None:
+            self.profiler.on_event(when, len(self._queue))
         callbacks = event.callbacks
         event.callbacks = None
         assert callbacks is not None
@@ -106,7 +117,11 @@ class Environment:
                 raise exc
             raise SimulationError(f"event failed with non-exception {exc!r}")
 
-    def run(self, until: Optional[float | Event] = None) -> Any:
+    def run(
+        self,
+        until: Optional[float | Event] = None,
+        max_events: Optional[int] = None,
+    ) -> Any:
         """Run the simulation.
 
         *until* may be:
@@ -114,6 +129,11 @@ class Environment:
         - ``None``: run until the heap is empty;
         - a number: run until the clock reaches that time;
         - an :class:`Event`: run until it is processed, returning its value.
+
+        *max_events* bounds how many events this call may process; a
+        runaway scenario (e.g. a zero-delay retry loop) then raises a
+        :class:`SimulationError` carrying the kernel counters in its
+        ``kernel_stats`` attribute instead of spinning forever.
         """
         stop_event: Optional[Event] = None
         if until is None:
@@ -137,8 +157,14 @@ class Environment:
             self.schedule(marker, delay=horizon - self._now, urgent=True)
             stop_event = marker
 
+        start_count = self.events_processed
         try:
             while self._queue:
+                if (
+                    max_events is not None
+                    and self.events_processed - start_count >= max_events
+                ):
+                    raise self._runaway_error(max_events)
                 self.step()
         except StopSimulation as stop:
             return stop.value
@@ -147,6 +173,29 @@ class Environment:
                 "run(until=event) exhausted all events before the event triggered"
             )
         return None
+
+    def _runaway_error(self, max_events: int) -> SimulationError:
+        """Descriptive error for the ``max_events`` guard, with whatever
+        telemetry kernel counters are available attached."""
+        stats: dict = {
+            "now": self._now,
+            "heap_depth": len(self._queue),
+            "events_processed": self.events_processed,
+        }
+        if self.profiler is not None:
+            stats.update(self.profiler.snapshot())
+        if self.tracer.enabled:
+            stats["open_spans"] = [
+                f"{s.name}@{s.start:.3f}" for s in self.tracer.open_spans()[:10]
+            ]
+        detail = ", ".join(f"{k}={v}" for k, v in stats.items())
+        error = SimulationError(
+            f"run() processed {max_events} events without finishing — "
+            f"likely a runaway scenario (zero-delay loop or livelock); "
+            f"kernel state: {detail}"
+        )
+        error.kernel_stats = stats
+        return error
 
     @staticmethod
     def _stop_on(event: Event) -> None:

@@ -92,6 +92,7 @@ class Flow:
         "finished_at",
         "tag",
         "_resources",
+        "_span",
     )
 
     def __init__(
@@ -118,6 +119,8 @@ class Flow:
         self.tag = tag
         #: Cached resource keys, filled when the flow is admitted.
         self._resources: Tuple[tuple, ...] = ()
+        #: Telemetry span covering the transfer (None when tracing is off).
+        self._span = None
 
     @property
     def transferred(self) -> float:
@@ -214,6 +217,15 @@ class FlowNetwork:
             next(self._fid), src, dst, size, done,
             rate_cap=rate_cap, tag=tag, started_at=self.env.now,
         )
+        tracer = self.env.tracer
+        if tracer.enabled and size > _EPSILON:
+            # Bulk transfers only: zero-payload control messages are
+            # covered by the RPC spans and would flood the trace.
+            flow._span = tracer.begin(
+                "net.flow", track=src.name, cat="net", detached=True,
+                fid=flow.fid, src=src.name, dst=dst.name,
+                size_mb=size, tag=tag,
+            )
         delay = self.latency_between(src, dst)
         start = Timeout(self.env, delay)
         if size <= _EPSILON:
@@ -232,6 +244,10 @@ class FlowNetwork:
         if flow.fid in self._flows:
             self._advance_progress()
             del self._flows[flow.fid]
+            if flow._span is not None:
+                flow._span.finish(aborted=True, reason=reason,
+                                  transferred_mb=flow.transferred)
+                flow._span = None
             if not flow.done.triggered:
                 flow.done.fail(TransferAborted(flow, reason))
             self._schedule_recompute()
@@ -309,6 +325,10 @@ class FlowNetwork:
         """Vectorized water-filling max-min fair rate assignment."""
         self.reallocations += 1
         self._last_realloc = self.env.now
+        metrics = self.env.metrics
+        if metrics is not None:
+            metrics.counter("net.reallocations").inc()
+            metrics.sample("net.active_flows", len(self._flows))
         # Reap already-finished flows first (fid order: deterministic).
         for flow in [f for f in self._flows.values() if f.remaining <= _EPSILON]:
             self._finish(flow)
@@ -396,6 +416,13 @@ class FlowNetwork:
         flow.remaining = 0.0
         flow.rate = 0.0
         flow.finished_at = self.env.now
+        if flow._span is not None:
+            flow._span.finish()
+            flow._span = None
+        metrics = self.env.metrics
+        if metrics is not None:
+            metrics.counter("net.flows_completed").inc()
+            metrics.counter("net.mb_delivered").inc(flow.size)
         if not flow.done.triggered:
             flow.done.succeed(flow)
 

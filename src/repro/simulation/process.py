@@ -82,6 +82,8 @@ class Process(Event):
         if not self.is_alive:
             # A late interrupt/throw arrived after termination: ignore.
             return
+        if self.env.profiler is not None:
+            self.env.profiler.on_process_step(self)
         self.env._active_process = self
         # Detach from the old target: if we are being interrupted while the
         # target is still pending, stop listening to it.

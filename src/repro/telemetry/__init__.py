@@ -1,0 +1,99 @@
+"""Cross-layer telemetry: sim-time spans, metrics, kernel profiling.
+
+Usage::
+
+    from repro import telemetry
+
+    deployment = BlobSeerDeployment(...)
+    t = telemetry.enable(deployment)        # installs tracer/metrics/profiler
+    ...run the scenario...
+    t.write_chrome_trace("trace.json")       # open in chrome://tracing / Perfetto
+    print(t.summary())
+
+By default every :class:`~repro.simulation.engine.Environment` carries a
+:class:`NullTracer` (and no metrics/profiler), so un-instrumented runs —
+the paper's "without monitoring" baselines — pay nothing.
+
+NOTE: the simulation kernel imports this package for its defaults, so
+module-level imports here must stay stdlib-only (``export.summary``
+imports the visualization helpers lazily).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .export import (
+    chrome_trace,
+    chrome_trace_json,
+    metrics_to_csv,
+    metrics_to_json,
+    summary,
+    write_chrome_trace,
+    write_metrics,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
+from .profiler import KernelProfiler
+from .tracer import NULL_TRACER, Instant, NullTracer, Span, Tracer
+
+__all__ = [
+    "Span",
+    "Instant",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimeSeries",
+    "KernelProfiler",
+    "Telemetry",
+    "enable",
+    "chrome_trace",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "metrics_to_json",
+    "metrics_to_csv",
+    "write_metrics",
+    "summary",
+]
+
+
+class Telemetry:
+    """Bundle of tracer + metrics + kernel profiler for one environment."""
+
+    def __init__(self, env, profile: bool = True, max_spans: int = 1_000_000) -> None:
+        self.env = env
+        self.tracer = Tracer(env, max_spans=max_spans)
+        self.metrics = MetricsRegistry(env)
+        self.profiler: Optional[KernelProfiler] = KernelProfiler() if profile else None
+        env.tracer = self.tracer
+        env.metrics = self.metrics
+        env.profiler = self.profiler
+
+    def uninstall(self) -> None:
+        """Return the environment to the free, un-instrumented defaults."""
+        self.env.tracer = NULL_TRACER
+        self.env.metrics = None
+        self.env.profiler = None
+
+    # -- export conveniences ---------------------------------------------------
+    def write_chrome_trace(self, path: str) -> str:
+        return write_chrome_trace(self.tracer, path)
+
+    def chrome_trace_json(self) -> str:
+        return chrome_trace_json(self.tracer)
+
+    def write_metrics(self, json_path: str, csv_path: Optional[str] = None) -> str:
+        return write_metrics(self.metrics, json_path, csv_path)
+
+    def summary(self) -> str:
+        return summary(self.tracer, self.metrics, self.profiler)
+
+
+def enable(target, profile: bool = True, max_spans: int = 1_000_000) -> Telemetry:
+    """Install telemetry on *target* (an Environment, or anything with
+    an ``.env`` attribute: Testbed, BlobSeerDeployment, scenario...)."""
+    env = getattr(target, "env", target)
+    return Telemetry(env, profile=profile, max_spans=max_spans)

@@ -1,0 +1,227 @@
+"""Exporters: Chrome trace-event JSON, metrics dumps, terminal summary.
+
+The Chrome trace format (loadable in ``chrome://tracing`` or
+https://ui.perfetto.dev) is a JSON object with a ``traceEvents`` array;
+this exporter emits one "process" for the whole simulation and one
+"thread" per *track* (= simulated node).  Only simulation time goes into
+the file, serialized with sorted keys and fixed separators, so the same
+scenario seed yields a byte-identical trace.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict, List, Optional
+
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+__all__ = [
+    "chrome_trace",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "metrics_to_json",
+    "metrics_to_csv",
+    "write_metrics",
+    "summary",
+]
+
+_PID = 1
+
+#: Chrome trace timestamps are microseconds.
+_US = 1e6
+
+
+def _clean_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    """JSON-safe copy of span attributes."""
+    out: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out
+
+
+def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """Build the trace-event dict for *tracer*'s spans and instants."""
+    tracks = tracer.tracks()
+    tids = {track: i + 1 for i, track in enumerate(tracks)}
+
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "repro simulation"},
+        }
+    ]
+    for track in tracks:
+        events.append({
+            "ph": "M",
+            "pid": _PID,
+            "tid": tids[track],
+            "name": "thread_name",
+            "args": {"name": track},
+        })
+
+    # Complete ("X") events, sorted so timestamps are monotonic per track.
+    spans = sorted(
+        (s for s in tracer.spans if s.finished),
+        key=lambda s: (tids[s.track], s.start, s.span_id),
+    )
+    for span in spans:
+        args = _clean_attrs(span.attrs)
+        args["span_id"] = span.span_id
+        if span.parent_id:
+            args["parent_id"] = span.parent_id
+        events.append({
+            "ph": "X",
+            "pid": _PID,
+            "tid": tids[span.track],
+            "name": span.name,
+            "cat": span.cat,
+            "ts": round(span.start * _US, 3),
+            "dur": round((span.end - span.start) * _US, 3),
+            "args": args,
+        })
+
+    marks = sorted(
+        tracer.instants,
+        key=lambda m: (tids[m.track], m.time, m.name),
+    )
+    for mark in marks:
+        events.append({
+            "ph": "i",
+            "s": "t",  # thread-scoped instant
+            "pid": _PID,
+            "tid": tids[mark.track],
+            "name": mark.name,
+            "cat": mark.cat,
+            "ts": round(mark.time * _US, 3),
+            "args": _clean_attrs(mark.attrs),
+        })
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(tracer: Tracer) -> str:
+    """Deterministic serialization (sorted keys, fixed separators)."""
+    return json.dumps(chrome_trace(tracer), sort_keys=True, separators=(",", ":"))
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> str:
+    with open(path, "w") as handle:
+        handle.write(chrome_trace_json(tracer))
+        handle.write("\n")
+    return path
+
+
+# -- metrics ------------------------------------------------------------------
+def metrics_to_json(metrics: MetricsRegistry, indent: Optional[int] = 2) -> str:
+    return json.dumps(metrics.to_dict(), sort_keys=True, indent=indent)
+
+
+def metrics_to_csv(metrics: MetricsRegistry) -> str:
+    """Every time series in long format: ``series,time,value``."""
+    buffer = io.StringIO()
+    buffer.write("series,time,value\n")
+    payload = metrics.to_dict()
+    for name in sorted(payload):
+        entry = payload[name]
+        if entry["type"] != "series":
+            continue
+        for t, v in entry["points"]:
+            buffer.write(f"{name},{t:.6f},{v:.6f}\n")
+    return buffer.getvalue()
+
+
+def write_metrics(
+    metrics: MetricsRegistry,
+    json_path: str,
+    csv_path: Optional[str] = None,
+) -> str:
+    with open(json_path, "w") as handle:
+        handle.write(metrics_to_json(metrics))
+        handle.write("\n")
+    if csv_path is not None:
+        with open(csv_path, "w") as handle:
+            handle.write(metrics_to_csv(metrics))
+    return json_path
+
+
+# -- terminal summary ---------------------------------------------------------
+def summary(
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    profiler=None,
+) -> str:
+    """Human-readable digest, rendered with the §IV-A dashboard helpers."""
+    # Imported here, not at module top: the simulation kernel imports the
+    # telemetry package, and visualization pulls in higher layers.
+    from ..introspection.visualization import bar_chart, sparkline, table
+
+    panels: List[str] = []
+
+    if tracer is not None and tracer.spans:
+        by_name: Dict[str, List[float]] = {}
+        for span in tracer.spans:
+            by_name.setdefault(span.name, []).append(span.duration_s)
+        rows = [
+            (name, len(durs), f"{sum(durs):.3f}", f"{sum(durs) / len(durs):.4f}")
+            for name, durs in sorted(
+                by_name.items(), key=lambda kv: -sum(kv[1])
+            )[:12]
+        ]
+        panels.append(
+            "== Span totals (sim-seconds) ==\n"
+            + table(["span", "count", "total_s", "mean_s"], rows)
+        )
+        items = [(name, sum(durs)) for name, durs in sorted(
+            by_name.items(), key=lambda kv: -sum(kv[1])
+        )[:8]]
+        panels.append("== Where sim-time goes ==\n" + bar_chart(items, unit=" s"))
+        if tracer.instants:
+            counts: Dict[str, int] = {}
+            for mark in tracer.instants:
+                counts[mark.name] = counts.get(mark.name, 0) + 1
+            panels.append("== Instant events ==\n" + table(
+                ["event", "count"], sorted(counts.items())
+            ))
+
+    if metrics is not None and len(metrics):
+        rows = []
+        for name, entry in metrics.to_dict().items():
+            if entry["type"] == "series":
+                rows.append((name, "series", f"{len(entry['points'])} points"))
+            elif entry["type"] == "histogram":
+                rows.append((
+                    name, "histogram",
+                    f"n={entry['count']} mean={entry['mean']:.4g} "
+                    f"p99={entry['p99']:.4g}",
+                ))
+            else:
+                rows.append((name, entry["type"], f"{entry['value']:.6g}"))
+        panels.append("== Metrics ==\n" + table(["metric", "type", "value"], rows))
+
+    if profiler is not None:
+        stats = profiler.snapshot()
+        rows = [(k, v) for k, v in stats.items() if k != "hottest_processes"]
+        panels.append("== Kernel ==\n" + table(["counter", "value"], rows))
+        hottest = stats.get("hottest_processes") or []
+        if hottest:
+            panels.append("== Hottest processes (steps) ==\n" + bar_chart(
+                [(name, float(count)) for name, count in hottest]
+            ))
+        wall = profiler.wall_series()
+        if wall:
+            panels.append(
+                "== Wall-clock per sim-second ==\n"
+                + sparkline([v for _t, v in wall])
+                + f"\n(total {sum(v for _t, v in wall):.3f}s wall across "
+                f"{len(wall)} buckets)"
+            )
+
+    return "\n\n".join(panels) if panels else "(no telemetry collected)"

@@ -1,0 +1,197 @@
+"""Metrics registry: counters, gauges, histograms and sim-time series.
+
+The registry complements the tracer: spans answer "what happened when",
+metrics answer "how much / how fast over time".  Time series are keyed
+to ``env.now`` so every sample lines up with the trace timeline.
+
+Stdlib-only (the simulation kernel may hold a registry).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "TimeSeries", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, pool size, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming summary of a distribution (count/sum/min/max + samples).
+
+    Samples are retained up to ``max_samples`` for percentile queries;
+    beyond that only the running aggregates stay exact.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_samples", "max_samples")
+
+    def __init__(self, name: str, max_samples: int = 100_000) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.max_samples = max_samples
+        self._samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over retained samples (q in 0..100)."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+
+class TimeSeries:
+    """(sim-time, value) samples, append-only and time-ordered."""
+
+    __slots__ = ("name", "points")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.points: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        self.points.append((float(time), float(value)))
+
+    @property
+    def values(self) -> List[float]:
+        return [v for _t, v in self.points]
+
+    def latest(self) -> Optional[float]:
+        return self.points[-1][1] if self.points else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "series", "points": [[t, v] for t, v in self.points]}
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+class MetricsRegistry:
+    """Get-or-create registry for all four instrument kinds.
+
+    When built with an environment, :meth:`sample` stamps series points
+    with ``env.now`` automatically.
+    """
+
+    def __init__(self, env=None) -> None:
+        self.env = env
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    # -- instruments -----------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def series(self, name: str) -> TimeSeries:
+        instrument = self._series.get(name)
+        if instrument is None:
+            instrument = self._series[name] = TimeSeries(name)
+        return instrument
+
+    def sample(self, name: str, value: float, time: Optional[float] = None) -> None:
+        """Append one series point, stamped with ``env.now`` by default."""
+        if time is None:
+            time = self.env.now if self.env is not None else 0.0
+        self.series(name).record(time, value)
+
+    # -- export ----------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Dict[str, Any]]:
+        """All instruments, sorted by name (stable for serialization)."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for registry in (self._counters, self._gauges, self._histograms, self._series):
+            for name in sorted(registry):
+                out[name] = registry[name].to_dict()
+        return out
+
+    def names(self) -> List[str]:
+        return sorted(self.to_dict())
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters)
+            + len(self._gauges)
+            + len(self._histograms)
+            + len(self._series)
+        )

@@ -1,0 +1,399 @@
+"""Tests for the cross-layer telemetry subsystem (repro.telemetry)."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.blobseer import BlobSeerConfig, BlobSeerDeployment
+from repro.cluster import TestbedConfig
+from repro.simulation import Environment, SimulationError
+from repro.telemetry import (
+    NULL_TRACER,
+    KernelProfiler,
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    chrome_trace,
+    chrome_trace_json,
+    metrics_to_csv,
+    metrics_to_json,
+)
+
+
+# ---------------------------------------------------------------------------
+# Tracer basics
+# ---------------------------------------------------------------------------
+
+def test_environment_defaults_to_null_tracer():
+    env = Environment()
+    assert env.tracer is NULL_TRACER
+    assert not env.tracer.enabled
+    assert env.metrics is None
+    assert env.profiler is None
+    # The disabled path records nothing and hands back the null span.
+    span = env.tracer.begin("anything", track="x", size_mb=1.0)
+    assert span.finish() is span
+    with env.tracer.span("ctx"):
+        pass
+    env.tracer.instant("mark")
+    assert len(env.tracer) == 0
+    assert env.tracer.tracks() == []
+
+
+def test_span_timing_and_attrs():
+    env = Environment()
+    tracer = Tracer(env)
+
+    def proc(env):
+        span = tracer.begin("op", track="node-1", cat="test", size_mb=64.0)
+        yield env.timeout(2.5)
+        span.annotate(chunks=4)
+        span.finish(ok=True)
+
+    env.process(proc(env))
+    env.run()
+    (span,) = tracer.spans
+    assert span.name == "op"
+    assert span.track == "node-1"
+    assert span.cat == "test"
+    assert span.start == 0.0
+    assert span.end == 2.5
+    assert span.duration_s == 2.5
+    assert span.attrs == {"size_mb": 64.0, "chunks": 4, "ok": True}
+    assert span.finished
+    # finish() is idempotent: a second call must not re-record the span.
+    span.finish(extra=True)
+    assert len(tracer.spans) == 1
+    assert "extra" not in span.attrs
+
+
+def test_span_nesting_follows_the_active_process():
+    env = Environment()
+    tracer = Tracer(env)
+
+    def proc(env):
+        with tracer.span("outer", track="client-0"):
+            yield env.timeout(1.0)
+            with tracer.span("inner") as inner:
+                yield env.timeout(1.0)
+                assert inner.track == "client-0"  # inherited from parent
+
+    env.process(proc(env))
+    env.run()
+    outer = tracer.spans_named("outer")[0]
+    inner = tracer.spans_named("inner")[0]
+    assert inner.parent_id == outer.span_id
+    assert outer.parent_id == 0
+    assert tracer.children_of(outer) == [inner]
+    assert tracer.open_spans() == []
+
+
+def test_span_stacks_are_per_process():
+    env = Environment()
+    tracer = Tracer(env)
+
+    def worker(env, name):
+        with tracer.span("work", track=name):
+            yield env.timeout(1.0)
+
+    env.process(worker(env, "a"))
+    env.process(worker(env, "b"))
+    env.run()
+    spans = tracer.spans_named("work")
+    assert len(spans) == 2
+    # Concurrent processes never see each other's spans as parents.
+    assert all(s.parent_id == 0 for s in spans)
+
+
+def test_detached_span_does_not_join_the_stack():
+    env = Environment()
+    tracer = Tracer(env)
+
+    def proc(env):
+        with tracer.span("op", track="client-0"):
+            flow = tracer.begin("net.flow", detached=True)
+            yield env.timeout(1.0)
+            # A sibling begun after the detached span parents to "op",
+            # not to the still-open flow span.
+            with tracer.span("child"):
+                yield env.timeout(1.0)
+            flow.finish()
+
+    env.process(proc(env))
+    env.run()
+    op = tracer.spans_named("op")[0]
+    flow = tracer.spans_named("net.flow")[0]
+    child = tracer.spans_named("child")[0]
+    assert flow.parent_id == op.span_id  # still linked for the tree
+    assert child.parent_id == op.span_id  # but not stacked under the flow
+
+
+def test_span_context_manager_records_errors():
+    env = Environment()
+    tracer = Tracer(env)
+    with pytest.raises(ValueError):
+        with tracer.span("risky", track="main"):
+            raise ValueError("boom")
+    (span,) = tracer.spans
+    assert span.attrs["error"] == "ValueError: boom"
+
+
+def test_tracer_caps_spans_at_max_spans():
+    env = Environment()
+    tracer = Tracer(env, max_spans=3)
+    for i in range(5):
+        tracer.begin(f"s{i}", track="main").finish()
+    assert len(tracer.spans) == 3
+    assert tracer.dropped == 2
+
+
+def test_instants_are_recorded():
+    env = Environment()
+    tracer = Tracer(env)
+    tracer.instant("adapt.replicate", track="loop", cat="adaptation", blob="b1")
+    (mark,) = tracer.instants
+    assert mark.name == "adapt.replicate"
+    assert mark.attrs == {"blob": "b1"}
+    assert tracer.tracks() == ["loop"]
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+
+def test_metrics_counters_gauges_histograms():
+    env = Environment()
+    metrics = MetricsRegistry(env)
+    metrics.counter("ops").inc()
+    metrics.counter("ops").inc(2)
+    assert metrics.counter("ops").value == 3
+    with pytest.raises(ValueError):
+        metrics.counter("ops").inc(-1)
+
+    metrics.gauge("depth").set(7)
+    metrics.gauge("depth").add(-2)
+    assert metrics.gauge("depth").value == 5
+
+    hist = metrics.histogram("latency_s")
+    for v in [1.0, 2.0, 3.0, 4.0, 5.0]:
+        hist.observe(v)
+    assert hist.count == 5
+    assert hist.min == 1.0 and hist.max == 5.0
+    assert hist.percentile(50) == 3.0
+    assert hist.percentile(0) == 1.0
+    assert hist.percentile(100) == 5.0
+
+
+def test_metrics_series_stamp_env_now():
+    env = Environment()
+    metrics = MetricsRegistry(env)
+
+    def proc(env):
+        yield env.timeout(3.0)
+        metrics.sample("throughput", 42.0)
+
+    env.process(proc(env))
+    env.run()
+    assert metrics.series("throughput").points == [(3.0, 42.0)]
+    dump = metrics.to_dict()
+    assert dump["throughput"]["points"] == [[3.0, 42.0]]
+
+
+# ---------------------------------------------------------------------------
+# Kernel profiler + max_events guard
+# ---------------------------------------------------------------------------
+
+def test_profiler_counts_every_engine_event():
+    env = Environment()
+    profiler = KernelProfiler()
+    env.profiler = profiler
+
+    def ticker(env):
+        for _ in range(10):
+            yield env.timeout(1.0)
+
+    env.process(ticker(env), name="ticker")
+    env.run()
+    assert profiler.events_popped == env.events_processed > 0
+    assert profiler.process_steps["ticker"] > 0
+    assert profiler.hottest_processes(1)[0][0] == "ticker"
+    snap = profiler.snapshot()
+    assert snap["events_popped"] == env.events_processed
+    assert snap["process_steps_total"] >= profiler.process_steps["ticker"]
+
+
+def test_max_events_guard_raises_with_kernel_stats():
+    env = Environment()
+    telemetry.enable(env)
+
+    def runaway(env):
+        while True:
+            yield env.timeout(0.001)
+
+    env.process(runaway(env), name="runaway")
+    with pytest.raises(SimulationError) as excinfo:
+        env.run(max_events=50)
+    err = excinfo.value
+    assert "50 events" in str(err)
+    assert err.kernel_stats["events_processed"] == 50
+    assert err.kernel_stats["heap_depth"] >= 0
+    assert "events_popped" in err.kernel_stats
+
+
+def test_max_events_guard_allows_finite_runs():
+    env = Environment()
+
+    def short(env):
+        yield env.timeout(1.0)
+
+    env.process(short(env))
+    env.run(max_events=10_000)  # must not raise
+    assert env.now == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Full-stack traces from a real deployment
+# ---------------------------------------------------------------------------
+
+def make_deployment(seed=11):
+    return BlobSeerDeployment(BlobSeerConfig(
+        data_providers=6,
+        metadata_providers=2,
+        chunk_size_mb=64.0,
+        testbed=TestbedConfig(seed=seed),
+    ))
+
+
+def run_write_read(deployment, op_mb=256.0):
+    tele = telemetry.enable(deployment)
+    client = deployment.new_client("c0")
+
+    def workload(env):
+        blob_id = yield from client.create_blob(chunk_size_mb=64.0)
+        yield from client.append(blob_id, op_mb)
+        yield from client.read(blob_id, size_mb=op_mb, offset_mb=0.0)
+
+    deployment.env.process(workload(deployment.env))
+    deployment.run()
+    return tele
+
+
+def test_deployment_trace_covers_every_layer():
+    tele = run_write_read(make_deployment())
+    names = {s.name for s in tele.tracer.spans}
+    for expected in [
+        "client.create", "client.append", "client.read",
+        "client.allocate", "client.chunk_transfer", "client.ticket",
+        "client.metadata_write", "client.publish", "client.fetch",
+        "pm.allocate", "vm.create_blob", "vm.ticket", "vm.publish",
+        "provider.ingest", "provider.serve", "net.flow",
+    ]:
+        assert expected in names, f"missing span {expected}"
+    assert tele.tracer.open_spans() == []
+
+    # The span tree is navigable: the append root owns the phase spans.
+    (append,) = tele.tracer.spans_named("client.append")
+    child_names = {s.name for s in tele.tracer.children_of(append)}
+    assert {"client.allocate", "client.chunk_transfer",
+            "client.ticket", "client.metadata_write",
+            "client.publish"} <= child_names
+
+    # Cross-layer metrics landed too.
+    metrics = tele.metrics
+    assert metrics.counter("client.append_ops").value == 1
+    assert metrics.counter("net.flows_completed").value > 0
+    assert metrics.counter("vm.versions_published").value >= 1
+
+
+def test_same_seed_produces_byte_identical_trace():
+    json_a = chrome_trace_json(run_write_read(make_deployment(seed=5)).tracer)
+    json_b = chrome_trace_json(run_write_read(make_deployment(seed=5)).tracer)
+    assert json_a == json_b
+    # Negative control: a different workload changes the trace.
+    json_c = chrome_trace_json(
+        run_write_read(make_deployment(seed=5), op_mb=320.0).tracer)
+    assert json_a != json_c
+
+
+def test_chrome_trace_is_well_formed():
+    tele = run_write_read(make_deployment())
+    trace = chrome_trace(tele.tracer)
+    events = trace["traceEvents"]
+    assert events, "trace must not be empty"
+
+    meta = [e for e in events if e["ph"] == "M"]
+    complete = [e for e in events if e["ph"] == "X"]
+    assert len(complete) == len(tele.tracer.spans)
+    # One thread_name per track plus one process_name.
+    thread_names = {e["args"]["name"] for e in meta
+                    if e["name"] == "thread_name"}
+    assert thread_names == set(tele.tracer.tracks())
+
+    last_ts = {}
+    for event in complete:
+        assert set(event) >= {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+        assert event["dur"] >= 0
+        key = (event["pid"], event["tid"])
+        assert event["ts"] >= last_ts.get(key, -1.0), "ts must be monotonic per track"
+        last_ts[key] = event["ts"]
+
+    # Round-trips through json.
+    json.loads(chrome_trace_json(tele.tracer))
+
+
+def test_trace_includes_instant_events():
+    env = Environment()
+    tele = telemetry.enable(env)
+    env.tracer.instant("security.violation", track="detection-engine",
+                       cat="security", client="evil")
+    trace = chrome_trace(tele.tracer)
+    instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+    assert len(instants) == 1
+    assert instants[0]["name"] == "security.violation"
+    assert instants[0]["s"] == "t"
+
+
+# ---------------------------------------------------------------------------
+# Exports + summary
+# ---------------------------------------------------------------------------
+
+def test_metrics_exports(tmp_path):
+    tele = run_write_read(make_deployment())
+    payload = json.loads(metrics_to_json(tele.metrics))
+    assert payload["client.append_ops"]["value"] == 1
+    csv_text = metrics_to_csv(tele.metrics)
+    assert csv_text.splitlines()[0] == "series,time,value"
+    assert any(line.startswith("client.throughput_mbps,")
+               for line in csv_text.splitlines())
+
+    json_path = tmp_path / "metrics.json"
+    csv_path = tmp_path / "metrics.csv"
+    tele.write_metrics(str(json_path), str(csv_path))
+    assert json.loads(json_path.read_text())
+    assert csv_path.read_text().startswith("series,time,value")
+
+
+def test_write_chrome_trace_and_summary(tmp_path):
+    tele = run_write_read(make_deployment())
+    path = tmp_path / "trace.json"
+    tele.write_chrome_trace(str(path))
+    data = json.loads(path.read_text())
+    assert data["traceEvents"]
+
+    text = tele.summary()
+    assert "client.append" in text
+    assert "events_popped" in text
+
+    tele.uninstall()
+    assert tele.env.tracer is NULL_TRACER
+    assert tele.env.metrics is None
+    assert tele.env.profiler is None
+
+
+def test_null_tracer_is_shared_and_stateless():
+    a, b = Environment(), Environment()
+    assert a.tracer is b.tracer is NULL_TRACER
+    assert isinstance(NULL_TRACER, NullTracer)
+    NULL_TRACER.begin("x").annotate(y=1).finish()
+    assert NULL_TRACER.spans == ()
