@@ -13,6 +13,7 @@ Subpackages
 - ``repro.cloud``         S3-compatible (Cumulus-style) gateway
 - ``repro.workloads``     correct / malicious client behaviours, scenarios
 - ``repro.telemetry``     sim-time tracing spans, metrics, kernel profiling
+- ``repro.robustness``    retry policies + heartbeat failure detection
 """
 
 __version__ = "1.0.0"
@@ -24,6 +25,7 @@ from . import (
     cluster,
     introspection,
     monitoring,
+    robustness,
     security,
     simulation,
     telemetry,
@@ -39,6 +41,7 @@ __all__ = [
     "security",
     "adaptation",
     "cloud",
+    "robustness",
     "telemetry",
     "workloads",
     "__version__",

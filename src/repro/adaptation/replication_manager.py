@@ -26,6 +26,7 @@ from ..blobseer.errors import BlobSeerError, NoProvidersAvailable
 from ..cluster.node import NodeDownError
 from ..blobseer.instrument import EV_REPLICA_REPAIR, MonitoringEvent
 from ..blobseer.provider import DataProvider
+from ..blobseer.rpc import TIMED_OUT, wait_or_timeout
 from ..simulation.network import TransferAborted
 from .controller import AdaptationDecision, ControlLoop
 
@@ -45,6 +46,8 @@ class ReplicationManager(ControlLoop):
         hot_reads_per_s: float = 1.0,
         interval_s: float = 5.0,
         max_repairs_per_step: int = 64,
+        detector=None,
+        repair_timeout_s: Optional[float] = None,
     ) -> None:
         super().__init__(interval_s=interval_s)
         self.deployment = deployment
@@ -53,6 +56,18 @@ class ReplicationManager(ControlLoop):
         self.max_replication = max_replication
         self.hot_reads_per_s = hot_reads_per_s
         self.max_repairs_per_step = max_repairs_per_step
+        #: Optional HeartbeatFailureDetector.  When set, replica counts
+        #: follow the detector's *view*, not the ``node.alive`` oracle:
+        #: repair traffic for a crashed provider starts only after the
+        #: detector confirms it dead.
+        self.detector = detector
+        #: Bound on each repair copy; a copy whose source turns out to
+        #: be dead-but-undetected black-holes, and without a timeout the
+        #: chunk would be stuck in-flight forever.  Defaults on only in
+        #: detector mode (the oracle mode cannot black-hole).
+        if repair_timeout_s is None and detector is not None:
+            repair_timeout_s = 30.0
+        self.repair_timeout_s = repair_timeout_s
         #: MB moved by repair/promotion traffic (bench metric).
         self.repair_traffic_mb = 0.0
         self.repairs_done = 0
@@ -65,10 +80,10 @@ class ReplicationManager(ControlLoop):
 
     # -- directory ------------------------------------------------------------
     def chunk_directory(self) -> Dict[str, ChunkDescriptor]:
-        """All live chunks, keyed by storage key."""
+        """All chunks believed live, keyed by storage key."""
         directory: Dict[str, ChunkDescriptor] = {}
         for provider in self.deployment.pmanager.providers.values():
-            if not provider.node.alive:
+            if self._presumed_dead(provider):
                 continue
             directory.update(provider.chunks)
         return directory
@@ -78,9 +93,32 @@ class ReplicationManager(ControlLoop):
         out = []
         for provider_id in descriptor.replicas:
             provider = providers.get(provider_id)
-            if provider is not None and provider.available:
+            if provider is not None and self._believed_live(provider):
                 out.append(provider)
         return out
+
+    def _presumed_dead(self, provider: DataProvider) -> bool:
+        if self.detector is not None and self.detector.watches(provider.node.name):
+            return self.detector.confirmed_dead(provider.node.name)
+        return not provider.node.alive
+
+    def _believed_live(self, provider: DataProvider) -> bool:
+        if provider.decommissioned:
+            return False
+        if self.detector is not None and self.detector.watches(provider.node.name):
+            # The detector's view, not the oracle: a crashed provider
+            # still counts as a replica until its death is *confirmed*,
+            # so repair traffic begins only after detection.
+            return not self.detector.confirmed_dead(provider.node.name)
+        return provider.node.alive
+
+    def _pick_source(self, replicas: List[DataProvider]) -> DataProvider:
+        """Prefer a replica the detector believes healthy (not suspected)."""
+        if self.detector is not None:
+            for provider in replicas:
+                if self.detector.thinks_alive(provider.node.name):
+                    return provider
+        return replicas[0]
 
     # -- the MAPE step ------------------------------------------------------------
     def step(self, now: float) -> List[AdaptationDecision]:
@@ -103,7 +141,7 @@ class ReplicationManager(ControlLoop):
                 self._in_flight.add(key)
                 kind = "repair" if len(replicas) < self.target_replication else "promote"
                 self.env.process(
-                    self._copy(descriptor, replicas[0], target, kind),
+                    self._copy(descriptor, self._pick_source(replicas), target, kind),
                     name=f"repl-{kind}",
                 )
                 decisions.append(AdaptationDecision(
@@ -153,7 +191,18 @@ class ReplicationManager(ControlLoop):
     def _copy(self, descriptor: ChunkDescriptor, source: DataProvider,
               target: DataProvider, kind: str):
         try:
-            yield target.ingest(source.node, descriptor, client_id=None)
+            done = target.ingest(source.node, descriptor, client_id=None)
+            if self.repair_timeout_s is not None:
+                # A dead-but-undetected source black-holes the copy;
+                # give up after the bound and let a later sweep retry
+                # from a (by then better-informed) replica choice.
+                value = yield from wait_or_timeout(
+                    self.env, done, self.repair_timeout_s
+                )
+                if value is TIMED_OUT:
+                    return
+            else:
+                yield done
         except Exception:
             return
         finally:

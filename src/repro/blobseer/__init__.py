@@ -28,6 +28,7 @@ from .errors import (
     ChunkLost,
     NoProvidersAvailable,
     RangeError,
+    RpcTimeout,
     VersionNotFound,
 )
 from .instrument import (
@@ -80,6 +81,7 @@ __all__ = [
     "AccessDenied",
     "NoProvidersAvailable",
     "ChunkLost",
+    "RpcTimeout",
     "StorageFull",
     "ProviderUnavailable",
     "tree_update",

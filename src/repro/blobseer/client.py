@@ -91,6 +91,8 @@ class BlobSeerClient:
         access: Optional[AccessController] = None,
         replication: int = 1,
         rng: Optional[np.random.Generator] = None,
+        rpc_timeout_s: Optional[float] = None,
+        rpc_retry=None,
     ) -> None:
         self.node = node
         self.client_id = client_id
@@ -100,6 +102,12 @@ class BlobSeerClient:
         self.access = access or AllowAll()
         self.replication = int(replication)
         self.rng = rng or np.random.default_rng(0)
+        #: Per-attempt deadline and RetryPolicy applied to every control
+        #: RPC (version-manager and provider-manager calls).  Both None
+        #: by default: the original wait-forever behaviour, preserved
+        #: exactly for seeded reproduction runs.
+        self.rpc_timeout_s = rpc_timeout_s
+        self.rpc_retry = rpc_retry
         self.meta = MetadataStore(node.network, node, metadata_providers)
         self._wseq = itertools.count(1)
         #: Client-side cache of blob chunk sizes (filled on create/read).
@@ -117,7 +125,10 @@ class BlobSeerClient:
         start = self.env.now
         with self.env.tracer.span("client.create", track=self.node.name,
                                   cat="client", client=self.client_id) as span:
-            blob_id = yield from self.vm.remote_create_blob(self.node, chunk_size_mb)
+            blob_id = yield from self.vm.remote_create_blob(
+                self.node, chunk_size_mb,
+                timeout_s=self.rpc_timeout_s, retry=self.rpc_retry,
+            )
             span.annotate(blob=blob_id)
         self._chunk_size[blob_id] = chunk_size_mb
         self._record("create", blob_id, 0.0, start, version=0)
@@ -148,7 +159,8 @@ class BlobSeerClient:
         try:
             with tracer.span("client.lookup", cat="client"):
                 latest, blob_size, chunk_size = yield from self.vm.remote_get_latest(
-                    self.node, blob_id
+                    self.node, blob_id,
+                    timeout_s=self.rpc_timeout_s, retry=self.rpc_retry,
                 )
             self._chunk_size[blob_id] = chunk_size
             if version is None:
@@ -207,7 +219,8 @@ class BlobSeerClient:
             if chunk_size is None:
                 with tracer.span("client.lookup", cat="client"):
                     _v, _s, chunk_size = yield from self.vm.remote_get_latest(
-                        self.node, blob_id
+                        self.node, blob_id,
+                        timeout_s=self.rpc_timeout_s, retry=self.rpc_retry,
                     )
                 self._chunk_size[blob_id] = chunk_size
 
@@ -224,7 +237,8 @@ class BlobSeerClient:
             # 1. allocate providers
             with tracer.span("client.allocate", cat="client", chunks=count):
                 placement = yield from self.pm.remote_allocate(
-                    self.node, count, self.replication, self.client_id
+                    self.node, count, self.replication, self.client_id,
+                    timeout_s=self.rpc_timeout_s, retry=self.rpc_retry,
                 )
 
             # 2. push chunks to every replica in parallel; chunks whose
@@ -264,7 +278,8 @@ class BlobSeerClient:
             # 3. ticket (serializes metadata per blob)
             with tracer.span("client.ticket", cat="client"):
                 ticket = yield from self.vm.remote_ticket(
-                    self.node, blob_id, size_mb, self.client_id, offset_mb
+                    self.node, blob_id, size_mb, self.client_id, offset_mb,
+                    timeout_s=self.rpc_timeout_s, retry=self.rpc_retry,
                 )
             in_critical = True
 
@@ -284,7 +299,10 @@ class BlobSeerClient:
 
             # 5. publish
             with tracer.span("client.publish", cat="client"):
-                yield from self.vm.remote_complete(self.node, ticket)
+                yield from self.vm.remote_complete(
+                    self.node, ticket,
+                    timeout_s=self.rpc_timeout_s, retry=self.rpc_retry,
+                )
             in_critical = False
             result = self._record(op, blob_id, size_mb, start, version=ticket.version)
             root.finish(ok=True, version=ticket.version)
@@ -332,6 +350,7 @@ class BlobSeerClient:
             placement = yield from self.pm.remote_allocate(
                 self.node, 1, min(need + len(live), self.pm.pool_size()),
                 self.client_id,
+                timeout_s=self.rpc_timeout_s, retry=self.rpc_retry,
             )
             fresh = [p for p in placement[0] if p.provider_id not in live][:need]
             if len(fresh) < need:

@@ -71,6 +71,9 @@ class BlobSeerDeployment:
         #: actor id -> physical node; used by the monitoring layer to
         #: source monitoring traffic from the right machines.
         self.actor_nodes: Dict[str, "PhysicalNode"] = {}
+        #: HeartbeatFailureDetector, once attach_failure_detector() ran.
+        self.detector = None
+        self._detector_lazy_cleanup = False
 
         # -- management actors -------------------------------------------------
         vm_node = self.testbed.add_node("vm-node", cores=self.config.vm_cores)
@@ -116,6 +119,9 @@ class BlobSeerDeployment:
         self.providers[provider_id] = provider
         self.actor_nodes[provider_id] = node
         self.pmanager.register(provider)
+        if self.detector is not None:
+            self.detector.watch(node)
+            provider.lazy_failure_cleanup = self._detector_lazy_cleanup
         return provider
 
     def add_provider(self) -> DataProvider:
@@ -131,12 +137,65 @@ class BlobSeerDeployment:
         self.pmanager.deregister(provider_id)
         return provider
 
+    # -- failure detection (robustness layer) --------------------------------------
+    def attach_failure_detector(
+        self,
+        period_s: float = 1.0,
+        timeout_s: float = 3.0,
+        confirm_misses: int = 2,
+        lazy_cleanup: bool = True,
+        host: Optional["PhysicalNode"] = None,
+    ):
+        """Replace the instant-crash oracle with heartbeat detection.
+
+        Deploys a :class:`~repro.robustness.HeartbeatFailureDetector` on
+        *host* (default: the provider manager's node) watching every data
+        provider, switches the network to black-hole semantics (messages
+        to crashed nodes vanish instead of erroring instantly), points
+        the provider manager's membership at the detector's view and —
+        with *lazy_cleanup* — defers chunk-directory scrubbing until a
+        crash is actually *detected*.  Returns the detector; pass it to
+        :class:`~repro.adaptation.ReplicationManager` so repair traffic
+        is detection-gated too.
+        """
+        if self.detector is not None:
+            raise RuntimeError("a failure detector is already attached")
+        from ..robustness.detector import HeartbeatFailureDetector
+
+        host = host or self.actor_nodes["pm"]
+        detector = HeartbeatFailureDetector(
+            host, period_s=period_s, timeout_s=timeout_s,
+            confirm_misses=confirm_misses,
+        )
+        self.net.blackhole_missing = True
+        self.detector = detector
+        self._detector_lazy_cleanup = lazy_cleanup
+        for provider in self.providers.values():
+            detector.watch(provider.node)
+            if lazy_cleanup:
+                provider.lazy_failure_cleanup = True
+        if lazy_cleanup:
+            def _purge_on_confirm(view):
+                for provider in self.providers.values():
+                    if (
+                        provider.node.name == view.node.name
+                        and not provider.node.alive
+                    ):
+                        provider.purge_after_crash()
+
+            detector.on_confirm(_purge_on_confirm)
+        self.pmanager.detector = detector
+        detector.start()
+        return detector
+
     # -- clients ------------------------------------------------------------------
     def new_client(
         self,
         client_id: str,
         replication: Optional[int] = None,
         site: Optional[str] = None,
+        rpc_timeout_s: Optional[float] = None,
+        rpc_retry=None,
     ) -> BlobSeerClient:
         """Deploy a client on a fresh node of its own."""
         if client_id in self.clients:
@@ -152,6 +211,8 @@ class BlobSeerDeployment:
             access=self.access,
             replication=replication or self.config.replication,
             rng=self.rng.stream(f"client:{client_id}"),
+            rpc_timeout_s=rpc_timeout_s,
+            rpc_retry=rpc_retry,
         )
         self.clients[client_id] = client
         self.actor_nodes[client_id] = node

@@ -10,6 +10,7 @@ __all__ = [
     "AccessDenied",
     "NoProvidersAvailable",
     "ChunkLost",
+    "RpcTimeout",
 ]
 
 
@@ -48,6 +49,21 @@ class AccessDenied(BlobSeerError):
 
 class NoProvidersAvailable(BlobSeerError):
     """The provider manager has no live data providers to allocate on."""
+
+
+class RpcTimeout(BlobSeerError):
+    """An RPC's deadline expired before the response arrived.
+
+    Replaces both infinite hangs (black-holed messages to crashed nodes)
+    and the instant-knowledge ``NodeDownError`` oracle on call paths that
+    opt into timeouts.
+    """
+
+    def __init__(self, op: str, callee: str, timeout_s: float) -> None:
+        super().__init__(f"rpc {op!r} to {callee} timed out after {timeout_s}s")
+        self.op = op
+        self.callee = callee
+        self.timeout_s = timeout_s
 
 
 class ChunkLost(BlobSeerError):

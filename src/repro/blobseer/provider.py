@@ -70,12 +70,19 @@ class DataProvider:
         self.disk_queue = Resource(node.env, capacity=1)
         self.chunks: Dict[str, ChunkDescriptor] = {}
         self.decommissioned = False
+        #: When True (failure-detector deployments), a crash does NOT
+        #: instantly scrub this provider from replica lists — the world
+        #: only learns of the loss when the detector confirms it and
+        #: calls :meth:`purge_after_crash`.  Default False keeps the
+        #: original instant-knowledge behaviour.
+        self.lazy_failure_cleanup = False
         # Counters for the introspection layer.
         self.chunks_written = 0
         self.chunks_read = 0
         self.bytes_written_mb = 0.0
         self.bytes_read_mb = 0.0
         node.on_fail(self._on_node_fail)
+        node.on_recover(self._on_node_recover)
 
     # -- properties ------------------------------------------------------------
     @property
@@ -247,9 +254,28 @@ class DataProvider:
         self.decommissioned = False
 
     def _on_node_fail(self, _node: PhysicalNode) -> None:
-        # Chunk replicas on this node are gone; keep the dict so the
-        # replication manager can learn what was lost, but replicas lists
-        # must no longer point here.
+        if self.lazy_failure_cleanup:
+            # Detector mode: the loss is not knowable yet.  Replica lists
+            # keep pointing here until the failure detector confirms the
+            # crash and triggers purge_after_crash().
+            return
+        self.purge_after_crash()
+
+    def _on_node_recover(self, _node: PhysicalNode) -> None:
+        # Cold restart loses local state; if the crash was never
+        # confirmed (lazy mode), stale replica pointers remain — scrub
+        # them now.  In default mode the crash already purged everything.
+        if self.chunks:
+            self.purge_after_crash()
+
+    def purge_after_crash(self) -> None:
+        """Drop all chunk state lost in a crash and unlink replica lists.
+
+        Chunk replicas on this node are gone; replicas lists must no
+        longer point here.  Called synchronously at crash time by
+        default, or deferred to failure-detector confirmation when
+        :attr:`lazy_failure_cleanup` is set.
+        """
         for descriptor in self.chunks.values():
             if self.provider_id in descriptor.replicas:
                 descriptor.replicas.remove(self.provider_id)

@@ -25,7 +25,13 @@ from .instrument import (
     NullSink,
 )
 from .provider import DataProvider
-from .rpc import CONTROL_MSG_MB
+from .rpc import (
+    CONTROL_MSG_MB,
+    TIMED_OUT,
+    make_timeout_error,
+    wait_or_timeout,
+    with_retries,
+)
 
 __all__ = ["ProviderManager"]
 
@@ -46,6 +52,12 @@ class ProviderManager:
         self.allocation_cpu_s = allocation_cpu_s
         self.providers: Dict[str, DataProvider] = {}
         self.allocations = 0
+        #: Optional HeartbeatFailureDetector.  When set, membership is
+        #: judged by the detector's *view* instead of the ``node.alive``
+        #: oracle: a crashed-but-undetected provider keeps getting
+        #: allocations (whose pushes then fail and are retried by the
+        #: client), exactly as on a real deployment.
+        self.detector = None
 
     @property
     def env(self):
@@ -77,7 +89,17 @@ class ProviderManager:
                        pool_size=len(self.active_providers()))
 
     def active_providers(self) -> List[DataProvider]:
-        return [p for p in self.providers.values() if p.available]
+        if self.detector is None:
+            return [p for p in self.providers.values() if p.available]
+        return [p for p in self.providers.values() if self._detector_available(p)]
+
+    def _detector_available(self, provider: DataProvider) -> bool:
+        if provider.decommissioned:
+            return False
+        detector = self.detector
+        if detector is not None and detector.watches(provider.node.name):
+            return detector.thinks_alive(provider.node.name)
+        return provider.node.alive
 
     def provider(self, provider_id: str) -> DataProvider:
         return self.providers[provider_id]
@@ -117,21 +139,66 @@ class ProviderManager:
         chunk_count: int,
         replication: int = 1,
         client_id: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+        retry=None,
     ):
-        """Generator: the client-visible allocation RPC (adds network cost)."""
-        if not self.node.alive:
-            raise NodeDownError(self.node, "allocate")
-        with self.env.tracer.span(
+        """Generator: the client-visible allocation RPC (adds network cost).
+
+        With *timeout_s*/*retry* set, the call races a per-attempt
+        deadline (raising :class:`~repro.blobseer.errors.RpcTimeout`)
+        instead of relying on the instant ``NodeDownError`` oracle.
+        """
+        if timeout_s is None and retry is None:
+            if not self.node.alive:
+                raise NodeDownError(self.node, "allocate")
+            with self.env.tracer.span(
+                "pm.allocate", track=self.node.name, cat="rpc",
+                caller=caller.name, chunks=chunk_count, replication=replication,
+            ):
+                yield self.net.transfer(caller.name, self.node.name, CONTROL_MSG_MB)
+                if self.allocation_cpu_s > 0:
+                    yield from self.node.compute(self.allocation_cpu_s)
+                placement = self.allocate(chunk_count, replication, client_id)
+                # The reply carries the placement map; size grows with chunk count.
+                reply_mb = CONTROL_MSG_MB * max(1, chunk_count // 16)
+                yield self.net.transfer(self.node.name, caller.name, reply_mb)
+            return placement
+        placement = yield from with_retries(
+            self.env,
+            lambda: self._allocate_attempt(
+                caller, chunk_count, replication, client_id, timeout_s
+            ),
+            retry,
+        )
+        return placement
+
+    def _allocate_attempt(self, caller, chunk_count, replication, client_id, timeout_s):
+        env = self.env
+        deadline = env.now + timeout_s if timeout_s is not None else None
+        with env.tracer.span(
             "pm.allocate", track=self.node.name, cat="rpc",
             caller=caller.name, chunks=chunk_count, replication=replication,
         ):
-            yield self.net.transfer(caller.name, self.node.name, CONTROL_MSG_MB)
+            value = yield from wait_or_timeout(
+                env,
+                self.net.transfer(caller.name, self.node.name, CONTROL_MSG_MB),
+                timeout_s,
+            )
+            if value is TIMED_OUT:
+                raise make_timeout_error(env, "pm.allocate", self.node.name, timeout_s)
+            if not self.node.alive:
+                raise NodeDownError(self.node, "allocate")
             if self.allocation_cpu_s > 0:
                 yield from self.node.compute(self.allocation_cpu_s)
             placement = self.allocate(chunk_count, replication, client_id)
-            # The reply carries the placement map; size grows with chunk count.
             reply_mb = CONTROL_MSG_MB * max(1, chunk_count // 16)
-            yield self.net.transfer(self.node.name, caller.name, reply_mb)
+            value = yield from wait_or_timeout(
+                env,
+                self.net.transfer(self.node.name, caller.name, reply_mb),
+                None if deadline is None else deadline - env.now,
+            )
+            if value is TIMED_OUT:
+                raise make_timeout_error(env, "pm.allocate", self.node.name, timeout_s)
         return placement
 
     # -- introspection ----------------------------------------------------------

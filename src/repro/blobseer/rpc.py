@@ -3,19 +3,120 @@
 Control messages are modelled as small transfers so that metadata and
 management traffic consumes (a little) bandwidth and experiences latency,
 as it does on a real deployment.
+
+Timeouts and retries
+--------------------
+By default an RPC waits forever — exactly the pre-robustness behaviour,
+preserved bit-for-bit so seeded experiments reproduce.  Call sites that
+opt in pass ``timeout_s`` (per-attempt deadline, raising
+:class:`~repro.blobseer.errors.RpcTimeout` on expiry) and/or a
+``RetryPolicy`` (see :mod:`repro.robustness.retry`) whose backoff, caps
+and overall deadline govern re-attempts.  :func:`wait_or_timeout` and
+:func:`with_retries` are the reusable building blocks the version
+manager and provider manager use for their multi-leg RPC handlers.
 """
 
 from __future__ import annotations
 
-from ..simulation.network import FlowNetwork, NetNode
+from typing import Callable, Optional
 
-__all__ = ["request_response", "CONTROL_MSG_MB"]
+from ..cluster.node import NodeDownError
+from ..simulation.network import FlowNetwork, NetNode, TransferAborted
+from .errors import RpcTimeout
+
+__all__ = [
+    "request_response",
+    "wait_or_timeout",
+    "with_retries",
+    "make_timeout_error",
+    "CONTROL_MSG_MB",
+    "TIMED_OUT",
+    "RETRYABLE_RPC_ERRORS",
+]
 
 #: Default size of a control message payload.  Control traffic is modelled
 #: as latency-only (zero payload): at a few KB per message it is >4 orders
 #: of magnitude below chunk traffic, and keeping it out of the bandwidth
 #: allocator removes the dominant simulation cost under request floods.
 CONTROL_MSG_MB = 0.0
+
+
+class _TimedOut:
+    """Sentinel returned by :func:`wait_or_timeout` on deadline expiry."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<TIMED_OUT>"
+
+
+TIMED_OUT = _TimedOut()
+
+#: Failures a RetryPolicy re-attempts: deadline expiry, a crashed callee
+#: ("connection refused"), a severed in-flight transfer, and a transfer
+#: to a node no longer in the network (KeyError, non-black-hole mode).
+RETRYABLE_RPC_ERRORS = (RpcTimeout, NodeDownError, TransferAborted, KeyError)
+
+
+def wait_or_timeout(env, event, timeout_s: Optional[float]):
+    """Generator: wait on *event*, bounded by *timeout_s*.
+
+    Returns the event's value, or :data:`TIMED_OUT` if the deadline
+    expires first.  ``timeout_s=None`` waits unboundedly; a non-positive
+    timeout returns :data:`TIMED_OUT` immediately.  If *event* fails
+    before the deadline, its exception propagates; a failure after the
+    deadline is defused by the race condition and ignored.
+    """
+    if timeout_s is None:
+        value = yield event
+        return value
+    if timeout_s <= 0:
+        return TIMED_OUT
+    timer = env.timeout(timeout_s, value=TIMED_OUT)
+    outcome = yield env.any_of([event, timer])
+    if event in outcome:
+        return event.value
+    return TIMED_OUT
+
+
+def make_timeout_error(env, op: str, callee: str, timeout_s: float) -> RpcTimeout:
+    """Build an :class:`RpcTimeout`, bumping the ``rpc.timeouts`` counter."""
+    metrics = env.metrics
+    if metrics is not None:
+        metrics.counter("rpc.timeouts").inc()
+    return RpcTimeout(op, callee, timeout_s)
+
+
+def with_retries(env, attempt: Callable[[], object], retry=None):
+    """Generator: run ``attempt()`` generators under an optional policy.
+
+    *attempt* is a zero-argument factory returning a fresh attempt
+    generator each call.  Failures in :data:`RETRYABLE_RPC_ERRORS` are
+    retried with the policy's backoff until its attempt cap or overall
+    deadline is exhausted, then re-raised.  With ``retry=None`` the
+    single attempt's outcome passes through untouched.
+    """
+    max_attempts = retry.max_attempts if retry is not None else 1
+    deadline = None
+    if retry is not None and retry.deadline_s is not None:
+        deadline = env.now + retry.deadline_s
+    failures = 0
+    while True:
+        try:
+            result = yield from attempt()
+            return result
+        except RETRYABLE_RPC_ERRORS:
+            failures += 1
+            exhausted = failures >= max_attempts
+            if deadline is not None and env.now >= deadline:
+                exhausted = True
+            if exhausted:
+                raise
+            backoff = retry.backoff_s(failures)
+            if deadline is not None:
+                backoff = min(backoff, max(0.0, deadline - env.now))
+            metrics = env.metrics
+            if metrics is not None:
+                metrics.counter("rpc.retries").inc()
+            yield env.timeout(backoff)
 
 
 def request_response(
@@ -25,21 +126,74 @@ def request_response(
     request_mb: float = CONTROL_MSG_MB,
     response_mb: float = CONTROL_MSG_MB,
     op: str = "rpc",
+    timeout_s: Optional[float] = None,
+    retry=None,
 ):
     """Generator: one round trip between two live nodes.
 
     When tracing is enabled the round trip becomes an ``rpc`` span on the
     caller's track, so request/response latency shows up in the trace.
+
+    With ``timeout_s`` set, each attempt races a deadline and raises
+    :class:`RpcTimeout` on expiry; with *retry* set, retryable failures
+    are re-attempted under the policy.  Both default to off, preserving
+    the original wait-forever semantics exactly.
     """
-    tracer = net.env.tracer
-    if tracer.enabled:
-        caller_name = caller if isinstance(caller, str) else caller.name
-        callee_name = callee if isinstance(callee, str) else callee.name
-        with tracer.span(op, track=caller_name, cat="rpc",
-                         callee=callee_name, request_mb=request_mb,
-                         response_mb=response_mb):
+    if timeout_s is None and retry is None:
+        tracer = net.env.tracer
+        if tracer.enabled:
+            caller_name = caller if isinstance(caller, str) else caller.name
+            callee_name = callee if isinstance(callee, str) else callee.name
+            with tracer.span(op, track=caller_name, cat="rpc",
+                             callee=callee_name, request_mb=request_mb,
+                             response_mb=response_mb):
+                yield net.transfer(caller, callee, request_mb)
+                yield net.transfer(callee, caller, response_mb)
+        else:
             yield net.transfer(caller, callee, request_mb)
             yield net.transfer(callee, caller, response_mb)
+        return None
+
+    caller_name = caller if isinstance(caller, str) else caller.name
+    callee_name = callee if isinstance(callee, str) else callee.name
+
+    def attempt():
+        return _roundtrip_once(
+            net, caller, callee, request_mb, response_mb,
+            op, timeout_s, callee_name,
+        )
+
+    tracer = net.env.tracer
+    if tracer.enabled:
+        with tracer.span(op, track=caller_name, cat="rpc",
+                         callee=callee_name, request_mb=request_mb,
+                         response_mb=response_mb, timeout_s=timeout_s):
+            yield from with_retries(net.env, attempt, retry)
     else:
-        yield net.transfer(caller, callee, request_mb)
-        yield net.transfer(callee, caller, response_mb)
+        yield from with_retries(net.env, attempt, retry)
+    return None
+
+
+def _roundtrip_once(
+    net: FlowNetwork,
+    caller: NetNode | str,
+    callee: NetNode | str,
+    request_mb: float,
+    response_mb: float,
+    op: str,
+    timeout_s: Optional[float],
+    callee_name: str,
+):
+    env = net.env
+    deadline = env.now + timeout_s if timeout_s is not None else None
+    value = yield from wait_or_timeout(
+        env, net.transfer(caller, callee, request_mb), timeout_s
+    )
+    if value is TIMED_OUT:
+        raise make_timeout_error(env, op, callee_name, timeout_s)
+    remaining = None if deadline is None else deadline - env.now
+    value = yield from wait_or_timeout(
+        env, net.transfer(callee, caller, response_mb), remaining
+    )
+    if value is TIMED_OUT:
+        raise make_timeout_error(env, op, callee_name, timeout_s)

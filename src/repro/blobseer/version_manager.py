@@ -34,7 +34,13 @@ from .instrument import (
     MonitoringEvent,
     NullSink,
 )
-from .rpc import CONTROL_MSG_MB
+from .rpc import (
+    CONTROL_MSG_MB,
+    TIMED_OUT,
+    make_timeout_error,
+    wait_or_timeout,
+    with_retries,
+)
 from .segment_tree import DEFAULT_CAPACITY
 
 __all__ = ["Ticket", "VersionManager"]
@@ -173,12 +179,34 @@ class VersionManager:
                    latency_s=self.env.now - record.ticket_time)
 
     # -- remote operations (what clients call) -------------------------------------
-    def remote_create_blob(self, caller: PhysicalNode, chunk_size_mb: float):
+    def remote_create_blob(
+        self,
+        caller: PhysicalNode,
+        chunk_size_mb: float,
+        timeout_s: Optional[float] = None,
+        retry=None,
+    ):
+        if timeout_s is None and retry is None:
+            with self.env.tracer.span("vm.create_blob", track=self.node.name,
+                                      cat="rpc", caller=caller.name):
+                yield from self._roundtrip_in(caller)
+                blob_id = self.create_blob(chunk_size_mb)
+                yield from self._roundtrip_out(caller)
+            return blob_id
+        blob_id = yield from with_retries(
+            self.env,
+            lambda: self._create_blob_attempt(caller, chunk_size_mb, timeout_s),
+            retry,
+        )
+        return blob_id
+
+    def _create_blob_attempt(self, caller, chunk_size_mb, timeout_s):
+        deadline = self._deadline(timeout_s)
         with self.env.tracer.span("vm.create_blob", track=self.node.name,
                                   cat="rpc", caller=caller.name):
-            yield from self._roundtrip_in(caller)
+            yield from self._guarded_in(caller, deadline, timeout_s, "vm.create_blob")
             blob_id = self.create_blob(chunk_size_mb)
-            yield from self._roundtrip_out(caller)
+            yield from self._guarded_out(caller, deadline, timeout_s, "vm.create_blob")
         return blob_id
 
     def remote_ticket(
@@ -188,34 +216,114 @@ class VersionManager:
         size_mb: float,
         writer: str,
         offset_mb: Optional[float] = None,
+        timeout_s: Optional[float] = None,
+        retry=None,
     ):
-        """Generator: blocks until the per-blob metadata lock is acquired."""
-        # The span covers lock queueing, so ticket contention is visible
-        # in the trace as stacked vm.ticket spans.
+        """Generator: blocks until the per-blob metadata lock is acquired.
+
+        With *timeout_s*, the whole RPC (including lock queueing) races a
+        deadline; on expiry the queued lock request is withdrawn — or the
+        ticket abandoned if it was already issued — and
+        :class:`~repro.blobseer.errors.RpcTimeout` is raised.
+        """
+        if timeout_s is None and retry is None:
+            # The span covers lock queueing, so ticket contention is visible
+            # in the trace as stacked vm.ticket spans.
+            with self.env.tracer.span("vm.ticket", track=self.node.name,
+                                      cat="rpc", blob=blob_id, writer=writer) as span:
+                yield from self._roundtrip_in(caller)
+                lock = self._locks.get(blob_id)
+                if lock is None:
+                    raise BlobNotFound(blob_id)
+                request = lock.request()
+                yield request
+                ticket = self._issue_ticket(blob_id, size_mb, writer, offset_mb)
+                span.annotate(version=ticket.version)
+                self._held[ticket.version_key()] = request
+                yield from self._roundtrip_out(caller)
+            return ticket
+        ticket = yield from with_retries(
+            self.env,
+            lambda: self._ticket_attempt(
+                caller, blob_id, size_mb, writer, offset_mb, timeout_s
+            ),
+            retry,
+        )
+        return ticket
+
+    def _ticket_attempt(self, caller, blob_id, size_mb, writer, offset_mb, timeout_s):
+        deadline = self._deadline(timeout_s)
         with self.env.tracer.span("vm.ticket", track=self.node.name,
                                   cat="rpc", blob=blob_id, writer=writer) as span:
-            yield from self._roundtrip_in(caller)
+            yield from self._guarded_in(caller, deadline, timeout_s, "vm.ticket")
             lock = self._locks.get(blob_id)
             if lock is None:
                 raise BlobNotFound(blob_id)
             request = lock.request()
-            yield request
+            value = yield from wait_or_timeout(
+                self.env, request, self._remaining(deadline)
+            )
+            if value is TIMED_OUT:
+                # Withdraw from the lock queue (or release, if the grant
+                # raced the deadline) so later writers are not wedged.
+                if request.triggered:
+                    lock.release(request)
+                else:
+                    request.cancel()
+                raise make_timeout_error(self.env, "vm.ticket", self.node.name, timeout_s)
             ticket = self._issue_ticket(blob_id, size_mb, writer, offset_mb)
             span.annotate(version=ticket.version)
             self._held[ticket.version_key()] = request
-            yield from self._roundtrip_out(caller)
+            try:
+                yield from self._guarded_out(caller, deadline, timeout_s, "vm.ticket")
+            except Exception:
+                # The client will never learn this version number: burn
+                # it and release the lock so the blob stays writable.
+                self.abandon(ticket)
+                raise
         return ticket
 
-    def remote_complete(self, caller: PhysicalNode, ticket: Ticket):
+    def remote_complete(
+        self,
+        caller: PhysicalNode,
+        ticket: Ticket,
+        timeout_s: Optional[float] = None,
+        retry=None,
+    ):
         """Generator: publish the version and release the blob lock."""
+        if timeout_s is None and retry is None:
+            with self.env.tracer.span("vm.publish", track=self.node.name, cat="rpc",
+                                      blob=ticket.blob_id, version=ticket.version):
+                yield from self._roundtrip_in(caller)
+                self._publish(ticket.blob_id, ticket.version)
+                request = self._held.pop(ticket.version_key(), None)
+                if request is not None:
+                    self._locks[ticket.blob_id].release(request)
+                yield from self._roundtrip_out(caller)
+            return ticket.version
+        version = yield from with_retries(
+            self.env,
+            lambda: self._complete_attempt(caller, ticket, timeout_s),
+            retry,
+        )
+        return version
+
+    def _complete_attempt(self, caller, ticket, timeout_s):
+        deadline = self._deadline(timeout_s)
         with self.env.tracer.span("vm.publish", track=self.node.name, cat="rpc",
                                   blob=ticket.blob_id, version=ticket.version):
-            yield from self._roundtrip_in(caller)
-            self._publish(ticket.blob_id, ticket.version)
-            request = self._held.pop(ticket.version_key(), None)
-            if request is not None:
-                self._locks[ticket.blob_id].release(request)
-            yield from self._roundtrip_out(caller)
+            yield from self._guarded_in(caller, deadline, timeout_s, "vm.publish")
+            record = self.blob_info(ticket.blob_id).versions.get(ticket.version)
+            if record is None:
+                raise VersionNotFound(ticket.blob_id, ticket.version)
+            # Idempotent: a retry whose predecessor published but lost
+            # the response finds the version already out and just acks.
+            if not record.published:
+                self._publish(ticket.blob_id, ticket.version)
+                request = self._held.pop(ticket.version_key(), None)
+                if request is not None:
+                    self._locks[ticket.blob_id].release(request)
+            yield from self._guarded_out(caller, deadline, timeout_s, "vm.publish")
         return ticket.version
 
     def abandon(self, ticket: Ticket) -> None:
@@ -229,10 +337,30 @@ class VersionManager:
         if request is not None:
             self._locks[ticket.blob_id].release(request)
 
-    def remote_get_latest(self, caller: PhysicalNode, blob_id: int):
-        yield from self._roundtrip_in(caller)
+    def remote_get_latest(
+        self,
+        caller: PhysicalNode,
+        blob_id: int,
+        timeout_s: Optional[float] = None,
+        retry=None,
+    ):
+        if timeout_s is None and retry is None:
+            yield from self._roundtrip_in(caller)
+            result = self.latest(blob_id)
+            yield from self._roundtrip_out(caller)
+            return result
+        result = yield from with_retries(
+            self.env,
+            lambda: self._get_latest_attempt(caller, blob_id, timeout_s),
+            retry,
+        )
+        return result
+
+    def _get_latest_attempt(self, caller, blob_id, timeout_s):
+        deadline = self._deadline(timeout_s)
+        yield from self._guarded_in(caller, deadline, timeout_s, "vm.get_latest")
         result = self.latest(blob_id)
-        yield from self._roundtrip_out(caller)
+        yield from self._guarded_out(caller, deadline, timeout_s, "vm.get_latest")
         return result
 
     # -- plumbing -----------------------------------------------------------------
@@ -245,6 +373,40 @@ class VersionManager:
 
     def _roundtrip_out(self, caller: PhysicalNode):
         yield self.net.transfer(self.node.name, caller.name, CONTROL_MSG_MB)
+
+    def _deadline(self, timeout_s: Optional[float]) -> Optional[float]:
+        return None if timeout_s is None else self.env.now + timeout_s
+
+    def _remaining(self, deadline: Optional[float]) -> Optional[float]:
+        return None if deadline is None else deadline - self.env.now
+
+    def _guarded_in(self, caller, deadline, timeout_s, op):
+        """Request leg with a deadline: no instant-death oracle.
+
+        A crashed version manager is only observable through the request
+        transfer timing out (black-holed) or failing — the liveness check
+        runs *after* the message arrives, like a real server would.
+        """
+        value = yield from wait_or_timeout(
+            self.env,
+            self.net.transfer(caller.name, self.node.name, CONTROL_MSG_MB),
+            self._remaining(deadline),
+        )
+        if value is TIMED_OUT:
+            raise make_timeout_error(self.env, op, self.node.name, timeout_s)
+        if not self.node.alive:
+            raise NodeDownError(self.node, "version manager RPC")
+        if self.op_cpu_s > 0:
+            yield from self.node.compute(self.op_cpu_s)
+
+    def _guarded_out(self, caller, deadline, timeout_s, op):
+        value = yield from wait_or_timeout(
+            self.env,
+            self.net.transfer(self.node.name, caller.name, CONTROL_MSG_MB),
+            self._remaining(deadline),
+        )
+        if value is TIMED_OUT:
+            raise make_timeout_error(self.env, op, self.node.name, timeout_s)
 
     def _emit(self, event_type: str, client_id=None, blob_id=None, **fields) -> None:
         self.sink.emit(MonitoringEvent(

@@ -1,15 +1,30 @@
 """Failure injection for availability experiments.
 
-Used by the self-optimization (replication) benches: crash storage nodes
-on a schedule or stochastically and optionally recover them later, so the
-replication manager's repair behaviour can be measured.
+Used by the self-optimization (replication) and failure-detection
+benches: crash storage nodes on a schedule or stochastically, optionally
+recover them later, partition the network, degrade NICs (gray failures)
+or drop messages probabilistically — all driven by the testbed's seeded
+RNG streams, so a fault schedule replays bit-for-bit per seed.
+
+Crash/recovery bookkeeping is epoch-guarded: crashing an already-dead
+node is a no-op that does *not* schedule a spurious recovery, and
+duplicate ``crash_recovery_later`` calls for the same crash coalesce, so
+the :class:`FaultEvent` log is always a consistent alternating sequence
+per node.
+
+Network-level faults (partitions, message loss, latency-degrading gray
+failures) install the injector as the :class:`FlowNetwork`'s fault-model
+hook *lazily* — pure crash/recovery schedules leave the network's hot
+path untouched.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..simulation.network import NetNode
 from .node import PhysicalNode
 from .testbed import Testbed
 
@@ -22,17 +37,33 @@ class FaultEvent:
 
     time: float
     node: str
-    kind: str  # "crash" | "recover"
+    kind: str  # "crash" | "recover" | "partition" | "heal" | "degrade" | "restore"
 
 
 class FaultInjector:
-    """Schedules node crashes/recoveries inside a testbed."""
+    """Schedules node crashes/recoveries and network faults in a testbed."""
 
     def __init__(self, testbed: Testbed, stream: str = "faults") -> None:
         self.testbed = testbed
         self.env = testbed.env
         self.rng = testbed.rng.stream(stream)
         self.log: List[FaultEvent] = []
+        #: Times this injector crashed each node (recovery-race guard).
+        self._crash_epoch: Dict[str, int] = {}
+        #: node name -> crash epoch a recovery is already scheduled for.
+        self._pending_recovery: Dict[str, int] = {}
+        #: Active partitions: id -> set of node names cut off from the rest.
+        self._partitions: Dict[int, Set[str]] = {}
+        self._partition_seq = itertools.count(1)
+        #: Probabilistic message loss (0 = off); draws come from a
+        #: dedicated sub-stream so enabling loss never perturbs the
+        #: crash-schedule stream.
+        self._loss_rate = 0.0
+        self._loss_rng = None
+        #: node name -> latency multiplier while its NIC is degraded.
+        self._latency_factors: Dict[str, float] = {}
+        #: node name -> (capacity_out, capacity_in) before degradation.
+        self._nic_originals: Dict[str, Tuple[float, float]] = {}
 
     # -- deterministic schedules -------------------------------------------------
     def crash_at(self, node: PhysicalNode, at: float, recover_after: Optional[float] = None) -> None:
@@ -43,14 +74,14 @@ class FaultInjector:
         delay = at - self.env.now
         if delay > 0:
             yield self.env.timeout(delay)
-        if node.alive:
-            node.fail()
-            self.log.append(FaultEvent(self.env.now, node.name, "crash"))
-        if recover_after is not None:
+        crashed = self._do_crash(node)
+        if recover_after is not None and crashed:
+            # Only the crash we actually performed earns a recovery; a
+            # node that was already dead belongs to someone else's
+            # crash/recovery pair.
+            epoch = self._crash_epoch[node.name]
             yield self.env.timeout(recover_after)
-            if not node.alive:
-                node.recover()
-                self.log.append(FaultEvent(self.env.now, node.name, "recover"))
+            self._do_recover(node, epoch)
 
     # -- stochastic failures ---------------------------------------------------
     def poisson_crashes(
@@ -80,20 +111,194 @@ class FaultInjector:
             if not alive:
                 return
             victim = alive[int(self.rng.integers(0, len(alive)))]
-            victim.fail()
+            self._do_crash(victim)
             crashes += 1
-            self.log.append(FaultEvent(self.env.now, victim.name, "crash"))
             if recover_after is not None:
                 self.crash_recovery_later(victim, recover_after)
 
     def crash_recovery_later(self, node: PhysicalNode, delay: float) -> None:
+        """Schedule one recovery for *node*'s current crash.
+
+        Duplicate calls for the same crash coalesce (first wins), and a
+        recovery never fires across crash epochs: if the node recovered
+        and crashed again in the meantime, the stale timer is inert.
+        """
+        epoch = self._crash_epoch.get(node.name, 0)
+        if self._pending_recovery.get(node.name) == epoch:
+            return  # a recovery for this crash is already on the clock
+        self._pending_recovery[node.name] = epoch
+
         def _recover():
             yield self.env.timeout(delay)
-            if not node.alive:
-                node.recover()
-                self.log.append(FaultEvent(self.env.now, node.name, "recover"))
+            if self._pending_recovery.get(node.name) == epoch:
+                del self._pending_recovery[node.name]
+            self._do_recover(node, epoch)
 
         self.env.process(_recover(), name=f"recover-{node.name}")
+
+    # -- crash/recover primitives (epoch-guarded) --------------------------------
+    def _do_crash(self, node: PhysicalNode) -> bool:
+        if not node.alive:
+            return False
+        node.fail()
+        self._crash_epoch[node.name] = self._crash_epoch.get(node.name, 0) + 1
+        self.log.append(FaultEvent(self.env.now, node.name, "crash"))
+        return True
+
+    def _do_recover(self, node: PhysicalNode, epoch: int) -> bool:
+        if self._crash_epoch.get(node.name, 0) != epoch or node.alive:
+            return False
+        node.recover()
+        self.log.append(FaultEvent(self.env.now, node.name, "recover"))
+        return True
+
+    # -- network partitions ------------------------------------------------------
+    def partition(
+        self,
+        nodes: Sequence[PhysicalNode | str],
+        heal_after: Optional[float] = None,
+        label: Optional[str] = None,
+    ) -> int:
+        """Cut *nodes* off from everyone else; returns a partition id.
+
+        Messages crossing the cut are silently lost (black-holed) and
+        in-flight transfers crossing it are aborted immediately, on both
+        the reader and writer side.  Heal with :meth:`heal` or pass
+        *heal_after* for automatic healing.
+        """
+        names = {n if isinstance(n, str) else n.name for n in nodes}
+        if not names:
+            raise ValueError("partition needs at least one node")
+        self._ensure_hook()
+        pid = next(self._partition_seq)
+        self._partitions[pid] = names
+        label = label or f"partition-{pid}"
+        self.log.append(FaultEvent(self.env.now, label, "partition"))
+        self.testbed.net.abort_matching(
+            lambda f: (f.src.name in names) != (f.dst.name in names),
+            reason=f"network {label}",
+        )
+        if heal_after is not None:
+            def _heal():
+                yield self.env.timeout(heal_after)
+                self.heal(pid, label=label)
+
+            self.env.process(_heal(), name=f"heal-{label}")
+        return pid
+
+    def partition_site(self, site: str, heal_after: Optional[float] = None) -> int:
+        """Partition every testbed node at *site* from the other sites."""
+        nodes = self.testbed.nodes_at(site)
+        if not nodes:
+            raise ValueError(f"no nodes at site {site!r}")
+        return self.partition(nodes, heal_after=heal_after, label=f"partition-{site}")
+
+    def heal(self, partition_id: int, label: Optional[str] = None) -> bool:
+        """Remove a partition; idempotent (False if already healed)."""
+        names = self._partitions.pop(partition_id, None)
+        if names is None:
+            return False
+        self.log.append(FaultEvent(
+            self.env.now, label or f"partition-{partition_id}", "heal"
+        ))
+        return True
+
+    def active_partitions(self) -> int:
+        return len(self._partitions)
+
+    # -- gray failures -----------------------------------------------------------
+    def degrade_nic(
+        self,
+        node: PhysicalNode,
+        bandwidth_factor: float = 0.1,
+        latency_factor: float = 1.0,
+        duration_s: Optional[float] = None,
+    ) -> None:
+        """Gray failure: *node* stays alive but its NIC slows down.
+
+        Bandwidth capacities are scaled by *bandwidth_factor* (in-flight
+        flows re-converge immediately via water-filling); message latency
+        through the node is multiplied by *latency_factor*.  Restore with
+        :meth:`restore_nic` or pass *duration_s*.
+        """
+        if not 0.0 < bandwidth_factor <= 1.0:
+            raise ValueError("bandwidth_factor must be in (0, 1]")
+        if latency_factor < 1.0:
+            raise ValueError("latency_factor must be >= 1")
+        if node.name in self._nic_originals:
+            raise ValueError(f"{node.name} is already degraded")
+        netnode = node.netnode
+        self._nic_originals[node.name] = (netnode.capacity_out, netnode.capacity_in)
+        netnode.capacity_out *= bandwidth_factor
+        netnode.capacity_in *= bandwidth_factor
+        if latency_factor != 1.0:
+            self._ensure_hook()
+            self._latency_factors[node.name] = latency_factor
+        self.testbed.net.refresh()
+        self.log.append(FaultEvent(self.env.now, node.name, "degrade"))
+        if duration_s is not None:
+            def _restore():
+                yield self.env.timeout(duration_s)
+                self.restore_nic(node)
+
+            self.env.process(_restore(), name=f"restore-{node.name}")
+
+    def restore_nic(self, node: PhysicalNode) -> bool:
+        """Undo :meth:`degrade_nic`; idempotent (False if not degraded)."""
+        originals = self._nic_originals.pop(node.name, None)
+        if originals is None:
+            return False
+        self._latency_factors.pop(node.name, None)
+        if node.alive:
+            # A crash/recovery cycle already rebuilt the NIC at full
+            # capacity; re-asserting the originals is then a no-op.
+            node.netnode.capacity_out, node.netnode.capacity_in = originals
+            self.testbed.net.refresh()
+        self.log.append(FaultEvent(self.env.now, node.name, "restore"))
+        return True
+
+    # -- probabilistic message loss ----------------------------------------------
+    def set_message_loss(self, rate: float, stream: str = "faults.loss") -> None:
+        """Drop each transfer with probability *rate* (0 disables).
+
+        Draws come from the dedicated *stream* sub-stream, so the main
+        fault schedule stays byte-identical whether loss is on or off.
+        """
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        self._loss_rate = rate
+        if rate > 0.0:
+            self._ensure_hook()
+            if self._loss_rng is None:
+                self._loss_rng = self.testbed.rng.stream(stream)
+
+    # -- FlowNetwork fault-model hook ----------------------------------------------
+    def _ensure_hook(self) -> None:
+        net = self.testbed.net
+        if net.fault_model is None:
+            net.fault_model = self
+        elif net.fault_model is not self:
+            raise RuntimeError("another fault model is already installed")
+
+    def on_transfer(self, src: NetNode, dst: NetNode) -> Optional[float]:
+        """Consulted by the network on every transfer once armed.
+
+        Returns None to swallow the message (partitioned or lost) or a
+        latency multiplier (1.0 = untouched).
+        """
+        if self._partitions:
+            src_name, dst_name = src.name, dst.name
+            for names in self._partitions.values():
+                if (src_name in names) != (dst_name in names):
+                    return None
+        if self._loss_rate > 0.0 and float(self._loss_rng.random()) < self._loss_rate:
+            return None
+        if self._latency_factors:
+            return (
+                self._latency_factors.get(src.name, 1.0)
+                * self._latency_factors.get(dst.name, 1.0)
+            )
+        return 1.0
 
     # -- reporting ----------------------------------------------------------------
     def crash_count(self) -> int:
@@ -101,3 +306,6 @@ class FaultInjector:
 
     def recovery_count(self) -> int:
         return sum(1 for e in self.log if e.kind == "recover")
+
+    def events_of(self, kind: str) -> List[FaultEvent]:
+        return [e for e in self.log if e.kind == kind]

@@ -1,0 +1,27 @@
+"""Robustness layer: retry policies and failure detection.
+
+Failure knowledge in the base substrate is an oracle (``node.alive`` is
+readable instantly, for free).  This package turns detection into a
+measurable, non-zero phenomenon:
+
+- :class:`RetryPolicy` — exponential backoff with deterministic jitter,
+  attempt caps and an overall deadline, for RPC call sites;
+- :class:`HeartbeatFailureDetector` — a simulated process pinging nodes
+  over the flow network, maintaining per-node alive/suspected/dead state
+  and detection-latency statistics.
+
+Wire both into a deployment with
+:meth:`repro.blobseer.deployment.BlobSeerDeployment.attach_failure_detector`.
+"""
+
+from .detector import ALIVE, DEAD, SUSPECTED, HeartbeatFailureDetector, NodeView
+from .retry import RetryPolicy
+
+__all__ = [
+    "RetryPolicy",
+    "HeartbeatFailureDetector",
+    "NodeView",
+    "ALIVE",
+    "SUSPECTED",
+    "DEAD",
+]

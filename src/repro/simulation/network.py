@@ -163,6 +163,20 @@ class FlowNetwork:
         self._last_update = env.now
         self._timer_token = 0
         self._recompute_pending = False
+        #: When True, transfers addressed to a node that is absent from
+        #: the topology (crashed/removed) are silently black-holed: the
+        #: returned event never triggers, like packets to a dead host.
+        #: Default False preserves the original KeyError behaviour (and
+        #: byte-identical seeded runs); failure-detector deployments
+        #: enable it so that death is only observable via timeouts.
+        self.blackhole_missing = False
+        #: Optional fault-model hook (see FaultInjector): consulted on
+        #: every transfer via ``on_transfer(src, dst) -> float | None``.
+        #: None = message lost (partition/loss); a float scales latency
+        #: (gray NIC degradation).  Stays None unless faults are armed.
+        self.fault_model = None
+        #: Transfers swallowed by black-holing or the fault model.
+        self.blackholed_transfers = 0
         #: Cumulative MB delivered, for utilisation accounting.
         self.total_delivered = 0.0
         #: Count of water-filling passes (perf introspection).
@@ -205,11 +219,29 @@ class FlowNetwork:
         tag: Optional[str] = None,
     ) -> Event:
         """Start a transfer; the returned event succeeds with the Flow
-        when the last byte arrives (propagation latency included)."""
+        when the last byte arrives (propagation latency included).
+
+        Addressing a node missing from the topology raises ``KeyError``
+        unless :attr:`blackhole_missing` is set, in which case the event
+        simply never triggers (callers need timeouts to notice)."""
+        latency_scale = 1.0
         if isinstance(src, str):
-            src = self.nodes[src]
+            src = self._resolve(src)
         if isinstance(dst, str):
-            dst = self.nodes[dst]
+            dst = self._resolve(dst)
+        if src is None or dst is None:
+            return self._black_hole()
+        if self.blackhole_missing and (
+            self.nodes.get(src.name) is not src or self.nodes.get(dst.name) is not dst
+        ):
+            # Stale NetNode reference: the node crashed (and possibly
+            # recovered with a fresh NIC) since the caller captured it.
+            return self._black_hole()
+        if self.fault_model is not None:
+            latency_scale = self.fault_model.on_transfer(src, dst)
+            if latency_scale is None:
+                # Partitioned or probabilistically lost.
+                return self._black_hole()
         if size < 0:
             raise ValueError("size must be non-negative")
         done = self.env.event()
@@ -227,6 +259,8 @@ class FlowNetwork:
                 size_mb=size, tag=tag,
             )
         delay = self.latency_between(src, dst)
+        if latency_scale != 1.0:
+            delay *= latency_scale
         start = Timeout(self.env, delay)
         if size <= _EPSILON:
             # Control message: latency only.
@@ -259,7 +293,29 @@ class FlowNetwork:
             self.abort(flow, reason)
         return len(doomed)
 
+    def refresh(self) -> None:
+        """Recompute flow rates after external capacity changes.
+
+        Call after mutating a node's NIC capacities (e.g. gray-failure
+        NIC degradation) so in-flight flows see the new bottlenecks.
+        """
+        self._schedule_recompute()
+
     # -- internals -----------------------------------------------------------
+    def _resolve(self, name: str) -> Optional[NetNode]:
+        node = self.nodes.get(name)
+        if node is None and not self.blackhole_missing:
+            raise KeyError(name)
+        return node
+
+    def _black_hole(self) -> Event:
+        """An event that never triggers: the message vanished."""
+        self.blackholed_transfers += 1
+        metrics = self.env.metrics
+        if metrics is not None:
+            metrics.counter("net.blackholed_transfers").inc()
+        return self.env.event()
+
     def _deliver_message(self, flow: Flow) -> None:
         flow.finished_at = self.env.now
         if not flow.done.triggered:

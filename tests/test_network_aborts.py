@@ -1,0 +1,141 @@
+"""Satellite tests: TransferAborted propagation when a node dies with
+multiple in-flight flows, on both the reader and the writer side."""
+
+import pytest
+
+from repro.cluster import Testbed, TestbedConfig
+from repro.simulation.network import TransferAborted
+
+
+def make_testbed(seed=7):
+    return Testbed(TestbedConfig(seed=seed))
+
+
+def watch(env, event):
+    """Wait on *event* in a process; record how it ended."""
+    outcome = {}
+
+    def runner():
+        try:
+            outcome["value"] = yield event
+        except TransferAborted as exc:
+            outcome["aborted"] = exc
+        outcome["at"] = env.now
+
+    env.process(runner())
+    return outcome
+
+
+def test_node_death_aborts_all_touching_flows():
+    testbed = make_testbed()
+    env = testbed.env
+    x = testbed.add_node("x")
+    a = testbed.add_node("a")
+    b = testbed.add_node("b")
+
+    # x is simultaneously a writer (x->a) twice and a reader (b->x);
+    # a->b is bystander traffic that must survive x's death.
+    outgoing_1 = watch(env, testbed.net.transfer("x", "a", 4000.0))
+    outgoing_2 = watch(env, testbed.net.transfer("x", "a", 4000.0))
+    incoming = watch(env, testbed.net.transfer("b", "x", 4000.0))
+    bystander = watch(env, testbed.net.transfer("a", "b", 200.0))
+    env.run(until=0.5)
+    assert len(testbed.net.flows) == 4
+
+    x.fail()
+    env.run(until=0.6)
+    for outcome in (outgoing_1, outgoing_2, incoming):
+        assert isinstance(outcome["aborted"], TransferAborted)
+        assert outcome["at"] == pytest.approx(0.5)
+        assert "node x removed" in outcome["aborted"].reason
+    assert "aborted" not in bystander
+
+    env.run(until=60.0)
+    assert "value" in bystander  # bystander completed normally
+
+
+def test_abort_reaches_both_reader_and_writer_waiters():
+    """Two processes wait on the same flow (sender + receiver view):
+    both observe the abort."""
+    testbed = make_testbed()
+    env = testbed.env
+    x = testbed.add_node("x")
+    testbed.add_node("a")
+
+    flow_event = testbed.net.transfer("x", "a", 4000.0)
+    writer_side = watch(env, flow_event)
+    reader_side = watch(env, flow_event)
+    env.run(until=0.2)
+    x.fail()
+    env.run(until=0.3)
+    assert isinstance(writer_side["aborted"], TransferAborted)
+    assert isinstance(reader_side["aborted"], TransferAborted)
+
+
+def test_abort_matching_is_selective():
+    testbed = make_testbed()
+    env = testbed.env
+    testbed.add_node("x")
+    testbed.add_node("a")
+    testbed.add_node("b")
+
+    doomed = watch(env, testbed.net.transfer("x", "a", 4000.0))
+    spared = watch(env, testbed.net.transfer("x", "b", 4000.0))
+    env.run(until=0.1)
+
+    count = testbed.net.abort_matching(
+        lambda f: f.dst.name == "a", reason="maintenance"
+    )
+    env.run(until=0.2)
+    assert count == 1
+    assert doomed["aborted"].reason == "maintenance"
+    assert "aborted" not in spared
+
+
+def test_aborted_flow_frees_bandwidth_for_survivors():
+    """After x's flows abort, the survivor reconverges to full rate."""
+    testbed = make_testbed()
+    env = testbed.env
+    x = testbed.add_node("x")
+    a = testbed.add_node("a")
+    b = testbed.add_node("b")
+
+    # Two flows into a: they share a's ingress capacity.
+    watch(env, testbed.net.transfer("x", "a", 4000.0))
+    survivor = watch(env, testbed.net.transfer("b", "a", 100.0))
+    env.run(until=0.5)
+    shared_rate = next(
+        f.rate for f in testbed.net.flows if f.src.name == "b"
+    )
+    x.fail()
+    env.run(until=0.6)
+    solo_rate = next(
+        f.rate for f in testbed.net.flows if f.src.name == "b"
+    )
+    assert solo_rate > shared_rate * 1.5  # got (roughly) the freed half back
+
+    env.run(until=60.0)
+    assert "value" in survivor
+
+
+def test_late_transfer_to_removed_node_raises_keyerror_by_default():
+    testbed = make_testbed()
+    env = testbed.env
+    x = testbed.add_node("x")
+    testbed.add_node("a")
+    x.fail()
+    with pytest.raises(KeyError):
+        testbed.net.transfer("a", "x", 1.0)
+
+
+def test_late_transfer_to_removed_node_blackholes_when_enabled():
+    testbed = make_testbed()
+    env = testbed.env
+    x = testbed.add_node("x")
+    testbed.add_node("a")
+    testbed.net.blackhole_missing = True
+    x.fail()
+    outcome = watch(env, testbed.net.transfer("a", "x", 1.0))
+    env.run(until=30.0)
+    assert "at" not in outcome  # never delivered, never errored
+    assert testbed.net.blackholed_transfers == 1
