@@ -1,0 +1,115 @@
+"""BENCH-CP: cost of post-run critical-path analysis.
+
+The causal-tracing PR promises that turning a finished trace into
+per-operation critical-path reports is cheap enough to run after every
+experiment: analyzing *all* client write traces of a §IV-B style run
+must cost less than 5% of the NullTracer (telemetry-disabled) run's
+wall-clock.  The analysis happens entirely after the simulation, so this
+is pure post-processing overhead — the simulation itself is untouched.
+
+Also asserts the analyzer's core invariant at scale: for every report,
+the phase durations sum to the operation latency to within 1e-9 sim
+seconds.
+"""
+
+import time
+from collections import defaultdict
+
+from _util import env_stats, once, report
+
+from repro import telemetry
+from repro.telemetry import critical_path
+from repro.workloads import build_write_scenario
+
+CLIENTS = 10
+PROVIDERS = 40
+MAX_OVERHEAD_PCT = 5.0
+
+
+def build():
+    return build_write_scenario(
+        clients=CLIENTS,
+        data_providers=PROVIDERS,
+        metadata_providers=4,
+        op_mb=1024.0,
+        ops_per_client=1,
+        chunk_size_mb=64.0,
+        with_monitoring=False,
+        seed=17,
+    )
+
+
+def timed_run(scenario):
+    started = time.perf_counter()
+    scenario.run()
+    return time.perf_counter() - started
+
+
+def test_bench_critical_path_overhead(benchmark):
+    def run():
+        # Warm-up, then the NullTracer reference run.
+        timed_run(build())
+        scenario = build()
+        wall_disabled = timed_run(scenario)
+
+        # Traced run: same scenario, telemetry on.
+        scenario = build()
+        handle = telemetry.enable(scenario.deployment, profile=False)
+        wall_traced = timed_run(scenario)
+        tracer = handle.tracer
+
+        # The measured quantity: analyze EVERY client write trace.
+        started = time.perf_counter()
+        by_trace = defaultdict(list)
+        for span in tracer.spans:
+            by_trace[span.trace_id].append(span)
+        roots = tracer.spans_named("client.write") + tracer.spans_named(
+            "client.append"
+        )
+        reports = [
+            critical_path.analyze(by_trace[root.trace_id], root=root)
+            for root in roots
+        ]
+        wall_analysis = time.perf_counter() - started
+
+        overhead_pct = wall_analysis / wall_disabled * 100.0
+        rows = [
+            ("disabled (NullTracer)", f"{wall_disabled:.3f}", "-", "-"),
+            ("tracing", f"{wall_traced:.3f}", len(tracer.spans), "-"),
+            ("critical-path analysis", f"{wall_analysis:.3f}",
+             len(tracer.spans), len(reports)),
+        ]
+        report(
+            "BENCH-CP",
+            "critical-path analysis overhead vs the NullTracer run",
+            ["stage", "wall_s", "spans", "reports"],
+            rows,
+            notes=[
+                f"analyzing {len(reports)} write traces "
+                f"({len(tracer.spans)} spans) costs "
+                f"{overhead_pct:.2f}% of the telemetry-free run "
+                f"(budget {MAX_OVERHEAD_PCT:.0f}%)",
+                "analysis is post-run only: the simulation never pays for it",
+            ],
+            stats=env_stats(scenario.deployment.env),
+            headline={"metric": "critical_path_overhead_pct",
+                      "value": overhead_pct},
+        )
+        return {
+            "wall_disabled": wall_disabled,
+            "wall_analysis": wall_analysis,
+            "overhead_pct": overhead_pct,
+            "reports": reports,
+        }
+
+    result = once(benchmark, run)
+
+    assert len(result["reports"]) == CLIENTS
+    for cp_report in result["reports"]:
+        total = sum(phase.duration_s for phase in cp_report.phases)
+        assert abs(total - cp_report.duration_s) < 1e-9
+        assert cp_report.critical_path[0].span is cp_report.root
+
+    # The headline promise: post-run analysis is < 5% of a full
+    # telemetry-free simulation run.
+    assert result["overhead_pct"] < MAX_OVERHEAD_PCT

@@ -5,10 +5,18 @@ every panel the paper's visualization tool provided: physical
 parameters, per-provider and system storage, BLOB access patterns,
 BLOB distribution, and client throughput.
 
+New in the observability-loop revision, the run is *live*: a periodic
+refresh process polls the introspection :class:`QueryEngine` (windowed
+rates, hot blobs, per-site rollups — all via incremental repository
+cursors) and a :class:`HealthMonitor` evaluates SLO rules and EWMA
+z-score anomaly detection in simulation time, printing a compact status
+line per refresh and a health timeline at the end.
+
 The run executes with cross-layer telemetry enabled and also writes a
 Chrome trace-event file (``introspection_dashboard.trace.json`` by
 default) — open it in https://ui.perfetto.dev or chrome://tracing to
-see the span trees behind the dashboard numbers.
+see the span trees (with cross-process flow arrows) behind the
+dashboard numbers.
 
 Run:  python examples/introspection_dashboard.py
 """
@@ -16,7 +24,13 @@ Run:  python examples/introspection_dashboard.py
 from repro import telemetry
 from repro.blobseer import BlobSeerConfig, BlobSeerDeployment
 from repro.cluster import TestbedConfig
-from repro.introspection import Dashboard, IntrospectionLayer
+from repro.introspection import (
+    Dashboard,
+    HealthMonitor,
+    IntrospectionLayer,
+    QueryEngine,
+    SLORule,
+)
 from repro.monitoring import MonitoringConfig, MonitoringStack
 from repro.workloads import CorrectReader, CorrectWriter
 
@@ -41,6 +55,23 @@ def main(trace_path: str = DEFAULT_TRACE_PATH, until: float = 150.0) -> None:
     env = deployment.env
     tele = telemetry.enable(deployment)
 
+    # Introspection query engine + health monitor: the live side of the
+    # observability loop.
+    engine = QueryEngine.for_deployment(deployment, monitoring, window_s=30.0)
+    health = HealthMonitor(
+        engine,
+        rules=[
+            SLORule("client.throughput_mbps", statistic="mean",
+                    min_value=20.0, window_s=30.0,
+                    description="per-op client throughput SLO"),
+        ],
+        anomaly_signals=["client.throughput_mbps"],
+        interval_s=5.0,
+        z_threshold=3.0,
+        warmup_s=10.0,
+    )
+    health.start(env)
+
     writers = [
         CorrectWriter(deployment.new_client(f"w{i}"), op_mb=512.0,
                       max_ops=4, think_s=2.0)
@@ -60,19 +91,47 @@ def main(trace_path: str = DEFAULT_TRACE_PATH, until: float = 150.0) -> None:
         yield env.process(reader.run(env))
 
     env.process(reader_when_ready(env))
+
+    # Live terminal refresh: one compact status line per interval,
+    # rendered from the sliding-window query engine.
+    def live_refresh(env, interval_s=15.0):
+        while True:
+            yield env.timeout(interval_s)
+            tput = engine.window_stat("client.throughput_mbps", "mean")
+            rollup = engine.site_rollup()
+            data_rate = sum(r.mb_per_s for r in rollup.values())
+            hot = engine.hot_blobs(top=1)
+            hot_txt = f"hot blob #{hot[0][0]} ({hot[0][1]} chunk ops)" if hot else "-"
+            alerts = len(health.events)
+            print(f"[{env.now:7.1f}s] tput(30s)="
+                  f"{tput:6.1f} MB/s | data {data_rate:7.1f} MB/s | "
+                  f"{hot_txt} | health events: {alerts}"
+                  if tput is not None else
+                  f"[{env.now:7.1f}s] warming up...")
+
+    env.process(live_refresh(env))
     deployment.run(until=until)
 
     layer = IntrospectionLayer(monitoring.repository)
     dashboard = Dashboard(layer)
     provider_nodes = [f"provider-{i}-node" for i in range(4)]
+    print()
     print(dashboard.render(node_names=provider_nodes))
     print()
     print(f"monitoring: {monitoring.events_emitted} events emitted, "
           f"{monitoring.repository.stored_count} stored, "
           f"{monitoring.parameter_count()} distinct parameters")
 
+    # Health timeline: every SLO violation / recovery / anomaly.
+    print("\n== Health timeline ==")
+    if health.events:
+        for event in health.events:
+            print(str(event))
+    else:
+        print("(no SLO violations or anomalies)")
+
     tele.write_chrome_trace(trace_path)
-    print(f"telemetry: {len(tele.tracer.spans)} spans on "
+    print(f"\ntelemetry: {len(tele.tracer.spans)} spans on "
           f"{len(tele.tracer.tracks())} tracks -> {trace_path} "
           f"(open in https://ui.perfetto.dev)")
 

@@ -3,8 +3,10 @@
 Run:  python examples/quickstart.py
 """
 
+from repro import telemetry
 from repro.blobseer import BlobSeerConfig, BlobSeerDeployment
 from repro.cluster import TestbedConfig
+from repro.telemetry import critical_path
 
 
 def main() -> None:
@@ -19,6 +21,7 @@ def main() -> None:
         testbed=TestbedConfig(seed=42),
     ))
     env = deployment.env
+    tele = telemetry.enable(deployment, profile=False)
 
     # 2. Two clients on their own nodes.
     alice = deployment.new_client("alice")
@@ -28,7 +31,8 @@ def main() -> None:
 
     def alice_writes(env):
         blob_id = yield env.process(alice.create_blob(chunk_size_mb=64.0))
-        write = yield env.process(alice.append(blob_id, size_mb=1024.0))
+        write = yield env.process(alice.write(blob_id, offset_mb=0.0,
+                                              size_mb=1024.0))
         results["blob"] = blob_id
         results["write"] = write
 
@@ -59,6 +63,14 @@ def main() -> None:
         for p in deployment.providers.values() if p.chunks
     )
     print("chunk placement:", ", ".join(f"{pid}:{n}" for pid, n in holders))
+
+    # 4. Causal trace of the write: one connected trace spanning the
+    #    client, the provider manager, every data provider that took a
+    #    chunk, and the version manager — analyzed for its critical path.
+    root = tele.tracer.spans_named("client.write")[0]
+    report = critical_path.analyze(tele.tracer, root=root)
+    print()
+    print(report.render())
 
 
 if __name__ == "__main__":

@@ -31,6 +31,14 @@ class ControlLoop:
     returns a list of decisions (possibly empty).  A cooldown suppresses
     oscillation: after any non-empty step, the loop holds off for
     ``cooldown_s``.
+
+    Health signals (§III-B → §V): after :meth:`attach_health`, each tick
+    drains the monitor's new :class:`~repro.introspection.health.HealthEvent`\\ s
+    into :attr:`health_inbox` right before :meth:`step`, so subclasses
+    can react to SLO violations and anomalies alongside their own
+    triggers.  A ``critical`` health event also overrides the cooldown —
+    an engine holding off after a routine action must still answer an
+    SLO breach immediately.
     """
 
     name = "control-loop"
@@ -42,6 +50,31 @@ class ControlLoop:
         self._cooldown_until = -float("inf")
         self.enabled = True
         self.steps = 0
+        #: Optional HealthMonitor (duck-typed: needs ``events_since``).
+        self.health = None
+        self._health_pos = 0
+        #: Health events that arrived since the previous executed step.
+        self.health_inbox: List[Any] = []
+
+    def attach_health(self, monitor) -> "ControlLoop":
+        """Feed a :class:`HealthMonitor`'s events into this loop."""
+        self.health = monitor
+        self._health_pos = len(monitor.events)
+        return self
+
+    def _pending_health(self) -> List[Any]:
+        if self.health is None:
+            return []
+        _pos, fresh = self.health.events_since(self._health_pos)
+        return fresh
+
+    def _drain_health(self) -> None:
+        if self.health is None:
+            self.health_inbox = []
+            return
+        self._health_pos, self.health_inbox = self.health.events_since(
+            self._health_pos
+        )
 
     def step(self, now: float) -> List[AdaptationDecision]:  # pragma: no cover
         """Inspect + adapt; implemented by subclasses."""
@@ -51,9 +84,16 @@ class ControlLoop:
         """Generator: start with ``env.process(loop.run(env))``."""
         while True:
             yield env.timeout(self.interval_s)
-            if not self.enabled or env.now < self._cooldown_until:
+            if not self.enabled:
                 continue
+            if env.now < self._cooldown_until:
+                # Cooldown suppresses routine re-runs, not emergencies:
+                # a pending critical health event forces the step.
+                if not any(e.severity == "critical"
+                           for e in self._pending_health()):
+                    continue
             self.steps += 1
+            self._drain_health()
             decisions = self.step(env.now)
             if decisions:
                 self.decisions.extend(decisions)

@@ -187,7 +187,8 @@ class BlobSeerClient:
                         continue  # hole: reads as zeros, nothing to fetch
                     provider = self._pick_replica(descriptor)
                     fetches.append(
-                        provider.serve(self.node, descriptor, self.client_id, rate_cap)
+                        provider.serve(self.node, descriptor, self.client_id,
+                                       rate_cap, ctx=fetch_span)
                     )
                 fetch_span.annotate(chunks=len(fetches))
                 if fetches:
@@ -260,7 +261,8 @@ class BlobSeerClient:
                     )
                     descriptors.append(descriptor)
                     pushes.append(self.env.process(
-                        self._push_chunk(descriptor, replicas, rate_cap, failures),
+                        self._push_chunk(descriptor, replicas, rate_cap, failures,
+                                         ctx=push_span),
                         name=f"push-{self.client_id}",
                     ))
                 yield self.env.all_of(pushes)
@@ -269,7 +271,9 @@ class BlobSeerClient:
                         break
                     self.access.authorize(self.client_id, op)  # still welcome?
                     push_span.annotate(retried=len(failures))
-                    failures = yield from self._retry_pushes(failures, rate_cap)
+                    failures = yield from self._retry_pushes(
+                        failures, rate_cap, ctx=push_span
+                    )
                 if failures:
                     raise NoProvidersAvailable(
                         f"could not store {len(failures)} chunk(s) after retries"
@@ -316,11 +320,15 @@ class BlobSeerClient:
         finally:
             root.finish()
 
-    def _push_chunk(self, descriptor, replicas, rate_cap, failures):
+    def _push_chunk(self, descriptor, replicas, rate_cap, failures, ctx=None):
         """Process: push one chunk to all its replicas; on any failure,
-        queue the descriptor for the retry pass instead of raising."""
+        queue the descriptor for the retry pass instead of raising.
+
+        *ctx* is the enclosing ``client.chunk_transfer`` span — this runs
+        as its own process, so the causal link travels explicitly and
+        the provider-side ingest spans join the operation's trace."""
         pushes = [
-            provider.ingest(self.node, descriptor, self.client_id, rate_cap)
+            provider.ingest(self.node, descriptor, self.client_id, rate_cap, ctx=ctx)
             for provider in replicas
         ]
         try:
@@ -328,7 +336,7 @@ class BlobSeerClient:
         except (BlobSeerError, NodeDownError, TransferAborted):
             failures.append(descriptor)
 
-    def _retry_pushes(self, failed: List[ChunkDescriptor], rate_cap):
+    def _retry_pushes(self, failed: List[ChunkDescriptor], rate_cap, ctx=None):
         """Generator: re-place failed chunks on live providers.
 
         Returns the descriptors that *still* failed.
@@ -358,7 +366,8 @@ class BlobSeerClient:
                 continue
             descriptor.replicas = live + [p.provider_id for p in fresh]
             pushes.append(self.env.process(
-                self._push_chunk(descriptor, fresh, rate_cap, still_failed),
+                self._push_chunk(descriptor, fresh, rate_cap, still_failed,
+                                 ctx=ctx),
                 name=f"repush-{self.client_id}",
             ))
         if pushes:

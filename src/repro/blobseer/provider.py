@@ -128,15 +128,21 @@ class DataProvider:
         descriptor: ChunkDescriptor,
         client_id: Optional[str] = None,
         rate_cap: Optional[float] = None,
+        ctx=None,
     ) -> Event:
         """Receive one chunk from *src*; the returned event completes when
-        the chunk is durably stored."""
+        the chunk is durably stored.
+
+        *ctx* is the caller's trace span: the ingest runs in its own
+        simulation process (fresh span stack), so the causal link to the
+        client operation must travel explicitly.
+        """
         return self.env.process(
-            self._ingest(src, descriptor, client_id, rate_cap),
+            self._ingest(src, descriptor, client_id, rate_cap, ctx),
             name=f"ingest-{self.provider_id}",
         )
 
-    def _ingest(self, src, descriptor, client_id, rate_cap):
+    def _ingest(self, src, descriptor, client_id, rate_cap, ctx=None):
         if not self.node.alive:
             raise NodeDownError(self.node, "ingest")
         if self.decommissioned:
@@ -145,6 +151,7 @@ class DataProvider:
             raise StorageFull(self.provider_id, descriptor.size_mb, self.free_mb)
         with self.env.tracer.span(
             "provider.ingest", track=self.node.name, cat="provider",
+            parent=ctx,
             chunk=descriptor.storage_key, size_mb=descriptor.size_mb,
             client=client_id,
         ):
@@ -181,14 +188,16 @@ class DataProvider:
         descriptor: ChunkDescriptor,
         client_id: Optional[str] = None,
         rate_cap: Optional[float] = None,
+        ctx=None,
     ) -> Event:
-        """Send one stored chunk to *dst*."""
+        """Send one stored chunk to *dst*.  *ctx*: caller's trace span
+        (the serve runs in its own process; see :meth:`ingest`)."""
         return self.env.process(
-            self._serve(dst, descriptor, client_id, rate_cap),
+            self._serve(dst, descriptor, client_id, rate_cap, ctx),
             name=f"serve-{self.provider_id}",
         )
 
-    def _serve(self, dst, descriptor, client_id, rate_cap):
+    def _serve(self, dst, descriptor, client_id, rate_cap, ctx=None):
         if not self.node.alive:
             raise NodeDownError(self.node, "serve")
         if descriptor.storage_key not in self.chunks:
@@ -197,6 +206,7 @@ class DataProvider:
             )
         with self.env.tracer.span(
             "provider.serve", track=self.node.name, cat="provider",
+            parent=ctx,
             chunk=descriptor.storage_key, size_mb=descriptor.size_mb,
             client=client_id,
         ):

@@ -154,11 +154,13 @@ class ProviderManager:
             with self.env.tracer.span(
                 "pm.allocate", track=self.node.name, cat="rpc",
                 caller=caller.name, chunks=chunk_count, replication=replication,
-            ):
+            ) as span:
                 yield self.net.transfer(caller.name, self.node.name, CONTROL_MSG_MB)
                 if self.allocation_cpu_s > 0:
                     yield from self.node.compute(self.allocation_cpu_s)
                 placement = self.allocate(chunk_count, replication, client_id)
+                if self.env.tracer.enabled:
+                    span.annotate(pool=self.pool_size())
                 # The reply carries the placement map; size grows with chunk count.
                 reply_mb = CONTROL_MSG_MB * max(1, chunk_count // 16)
                 yield self.net.transfer(self.node.name, caller.name, reply_mb)
@@ -178,7 +180,7 @@ class ProviderManager:
         with env.tracer.span(
             "pm.allocate", track=self.node.name, cat="rpc",
             caller=caller.name, chunks=chunk_count, replication=replication,
-        ):
+        ) as span:
             value = yield from wait_or_timeout(
                 env,
                 self.net.transfer(caller.name, self.node.name, CONTROL_MSG_MB),
@@ -191,6 +193,8 @@ class ProviderManager:
             if self.allocation_cpu_s > 0:
                 yield from self.node.compute(self.allocation_cpu_s)
             placement = self.allocate(chunk_count, replication, client_id)
+            if env.tracer.enabled:
+                span.annotate(pool=self.pool_size())
             reply_mb = CONTROL_MSG_MB * max(1, chunk_count // 16)
             value = yield from wait_or_timeout(
                 env,

@@ -128,11 +128,19 @@ def request_response(
     op: str = "rpc",
     timeout_s: Optional[float] = None,
     retry=None,
+    ctx=None,
 ):
     """Generator: one round trip between two live nodes.
 
     When tracing is enabled the round trip becomes an ``rpc`` span on the
     caller's track, so request/response latency shows up in the trace.
+    *ctx* carries an explicit parent span (the trace context): an RPC
+    issued from a process other than the one that opened the operation
+    span — a spawned worker, a background maintenance loop — passes the
+    originating span here so the round trip still joins that causal
+    trace.  Within the same process the context propagates implicitly
+    via the tracer's span stack, and one span covers *all* retry
+    attempts, so a retried RPC never duplicates spans in the trace.
 
     With ``timeout_s`` set, each attempt races a deadline and raises
     :class:`RpcTimeout` on expiry; with *retry* set, retryable failures
@@ -144,7 +152,7 @@ def request_response(
         if tracer.enabled:
             caller_name = caller if isinstance(caller, str) else caller.name
             callee_name = callee if isinstance(callee, str) else callee.name
-            with tracer.span(op, track=caller_name, cat="rpc",
+            with tracer.span(op, track=caller_name, cat="rpc", parent=ctx,
                              callee=callee_name, request_mb=request_mb,
                              response_mb=response_mb):
                 yield net.transfer(caller, callee, request_mb)
@@ -165,7 +173,7 @@ def request_response(
 
     tracer = net.env.tracer
     if tracer.enabled:
-        with tracer.span(op, track=caller_name, cat="rpc",
+        with tracer.span(op, track=caller_name, cat="rpc", parent=ctx,
                          callee=callee_name, request_mb=request_mb,
                          response_mb=response_mb, timeout_s=timeout_s):
             yield from with_retries(net.env, attempt, retry)

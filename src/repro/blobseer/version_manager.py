@@ -336,6 +336,10 @@ class VersionManager:
         request = self._held.pop(ticket.version_key(), None)
         if request is not None:
             self._locks[ticket.blob_id].release(request)
+            tracer = self.env.tracer
+            if tracer.enabled:
+                tracer.instant("vm.abandon", track=self.node.name, cat="rpc",
+                               blob=ticket.blob_id, version=ticket.version)
 
     def remote_get_latest(
         self,
@@ -345,9 +349,11 @@ class VersionManager:
         retry=None,
     ):
         if timeout_s is None and retry is None:
-            yield from self._roundtrip_in(caller)
-            result = self.latest(blob_id)
-            yield from self._roundtrip_out(caller)
+            with self.env.tracer.span("vm.get_latest", track=self.node.name,
+                                      cat="rpc", blob=blob_id, caller=caller.name):
+                yield from self._roundtrip_in(caller)
+                result = self.latest(blob_id)
+                yield from self._roundtrip_out(caller)
             return result
         result = yield from with_retries(
             self.env,
@@ -358,9 +364,11 @@ class VersionManager:
 
     def _get_latest_attempt(self, caller, blob_id, timeout_s):
         deadline = self._deadline(timeout_s)
-        yield from self._guarded_in(caller, deadline, timeout_s, "vm.get_latest")
-        result = self.latest(blob_id)
-        yield from self._guarded_out(caller, deadline, timeout_s, "vm.get_latest")
+        with self.env.tracer.span("vm.get_latest", track=self.node.name,
+                                  cat="rpc", blob=blob_id, caller=caller.name):
+            yield from self._guarded_in(caller, deadline, timeout_s, "vm.get_latest")
+            result = self.latest(blob_id)
+            yield from self._guarded_out(caller, deadline, timeout_s, "vm.get_latest")
         return result
 
     # -- plumbing -----------------------------------------------------------------

@@ -1,12 +1,20 @@
 """Introspection layer: high-level aggregated system state + visualization."""
 
 from .aggregator import BlobAccessStats, ClientActivity, IntrospectionLayer
+from .health import EwmaZScore, HealthEvent, HealthMonitor, SLORule
+from .query import QueryEngine, WindowRollup
 from .visualization import Dashboard, bar_chart, series_to_csv, sparkline, table
 
 __all__ = [
     "IntrospectionLayer",
     "ClientActivity",
     "BlobAccessStats",
+    "QueryEngine",
+    "WindowRollup",
+    "HealthEvent",
+    "HealthMonitor",
+    "SLORule",
+    "EwmaZScore",
     "Dashboard",
     "sparkline",
     "bar_chart",

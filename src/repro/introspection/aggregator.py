@@ -88,9 +88,10 @@ class IntrospectionLayer:
         until: float = float("inf"),
         event_type: Optional[str] = None,
     ) -> List[MonitoringEvent]:
+        # records_since bisects per server instead of re-sorting history.
         out = []
-        for event in self.repository.all_records():
-            if event.time < since or event.time > until:
+        for event in self.repository.records_since(since):
+            if event.time > until:
                 continue
             if event_type is not None and event.event_type != event_type:
                 continue

@@ -10,18 +10,31 @@ Each storage server persists events at a bounded rate; a FIFO ingest
 buffer absorbs transient bursts.  Enabling the burst cache extends that
 buffer (backed by server memory).  When the buffer overflows, events are
 dropped and counted — ABL-4 measures exactly this.
+
+Query side: per-server records are kept with a cached time-ordered view
+(most servers receive events in time order and need no sort at all), so
+``records_since`` is a per-server bisect + ``heapq.merge`` instead of a
+full re-sort of every stored record on every call.  For consumers that
+poll — the introspection query engine, dashboards — a
+:class:`RepositoryCursor` returns only the records persisted since the
+previous call.
 """
 
 from __future__ import annotations
 
 import hashlib
+import heapq
+from bisect import bisect_left
 from collections import deque
+from operator import attrgetter
 from typing import Dict, List, Optional, Sequence
 
 from ..blobseer.instrument import MonitoringEvent
 from ..cluster.node import PhysicalNode
 
-__all__ = ["StorageServer", "StorageRepository"]
+__all__ = ["StorageServer", "StorageRepository", "RepositoryCursor"]
+
+_TIME_KEY = attrgetter("time")
 
 
 class StorageServer:
@@ -43,11 +56,19 @@ class StorageServer:
         self.burst_cache_capacity = burst_cache_capacity
         self.cache_event_mb = cache_event_mb
         self.buffer: deque[MonitoringEvent] = deque()
-        #: Persisted events, indexed later by the introspection layer.
+        #: Persisted events in arrival order (append-only: cursors rely
+        #: on positions never shifting).
         self.records: List[MonitoringEvent] = []
         self.dropped = 0
         self.cached_peak = 0
         self._writer_running = False
+        # Time-order bookkeeping for the query path.  Batches from
+        # different monitoring services can interleave, so arrival order
+        # is *usually* — but not always — time order; track it and only
+        # pay for a sorted copy when it actually breaks.
+        self._in_time_order = True
+        self._last_time = float("-inf")
+        self._ordered_cache: Optional[List[MonitoringEvent]] = None
         if burst_cache_capacity > 0:
             # Reserve server memory for the cache (visible to introspection).
             node.memory.put(burst_cache_capacity * cache_event_mb)
@@ -75,6 +96,14 @@ class StorageServer:
             self.env.process(self._drain(), name=f"repo-writer-{self.server_id}")
         return dropped
 
+    def _persist(self, event: MonitoringEvent) -> None:
+        if event.time < self._last_time:
+            self._in_time_order = False
+        else:
+            self._last_time = event.time
+        self.records.append(event)
+        self._ordered_cache = None
+
     def _drain(self):
         """Persist buffered events at the bounded write rate."""
         try:
@@ -83,15 +112,67 @@ class StorageServer:
                 batch_size = min(len(self.buffer), max(1, int(self.write_rate_eps * 0.1)))
                 yield self.env.timeout(batch_size / self.write_rate_eps)
                 for _ in range(min(batch_size, len(self.buffer))):
-                    self.records.append(self.buffer.popleft())
+                    self._persist(self.buffer.popleft())
         finally:
             self._writer_running = False
+
+    def ordered_records(self) -> List[MonitoringEvent]:
+        """Persisted records in time order (no copy when already sorted)."""
+        if self._in_time_order:
+            return self.records
+        if self._ordered_cache is None:
+            # Stable sort: ties keep arrival order, matching the
+            # repository's historical full-sort semantics.
+            self._ordered_cache = sorted(self.records, key=_TIME_KEY)
+        return self._ordered_cache
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"<StorageServer {self.server_id} stored={len(self.records)} "
             f"buffered={len(self.buffer)} dropped={self.dropped}>"
         )
+
+
+class RepositoryCursor:
+    """Incremental consumer position over a repository's stored records.
+
+    Each :meth:`advance` returns only the records persisted since the
+    previous call, merged across servers in time order.  Positions are
+    per server, so the cost of a poll is proportional to *new* data —
+    the paper's introspection consumers poll continuously, and re-sorting
+    the whole history every tick is what this replaces.
+    """
+
+    def __init__(self, repository: "StorageRepository") -> None:
+        self.repository = repository
+        self._positions: Dict[str, int] = {
+            server.server_id: 0 for server in repository.servers
+        }
+
+    def pending(self) -> int:
+        """How many persisted records the next :meth:`advance` will return."""
+        total = 0
+        for server in self.repository.servers:
+            total += len(server.records) - self._positions.get(server.server_id, 0)
+        return total
+
+    def advance(self) -> List[MonitoringEvent]:
+        batches: List[List[MonitoringEvent]] = []
+        for server in self.repository.servers:
+            pos = self._positions.get(server.server_id, 0)
+            records = server.records
+            if pos < len(records):
+                batches.append(records[pos:])
+                self._positions[server.server_id] = len(records)
+        if not batches:
+            return []
+        if len(batches) == 1:
+            out = batches[0]
+        else:
+            out = [event for batch in batches for event in batch]
+        # Arrival order is nearly time order, so timsort is ~linear here.
+        out.sort(key=_TIME_KEY)
+        return out
 
 
 class StorageRepository:
@@ -120,15 +201,35 @@ class StorageRepository:
         return dropped
 
     # -- query API (used by introspection) -----------------------------------
+    def cursor(self) -> RepositoryCursor:
+        """A fresh incremental cursor positioned at the start of history."""
+        return RepositoryCursor(self)
+
     def all_records(self) -> List[MonitoringEvent]:
-        out: List[MonitoringEvent] = []
-        for server in self.servers:
-            out.extend(server.records)
-        out.sort(key=lambda e: e.time)
-        return out
+        return self.records_since(float("-inf"))
 
     def records_since(self, t0: float) -> List[MonitoringEvent]:
-        return [e for e in self.all_records() if e.time >= t0]
+        """Records with ``time >= t0``, time-ordered across servers.
+
+        Per-server bisect over the (cached) time-ordered view plus an
+        n-way ``heapq.merge`` — no re-sort of already-ordered history.
+        """
+        tails: List[List[MonitoringEvent]] = []
+        for server in self.servers:
+            ordered = server.ordered_records()
+            lo = 0
+            if t0 != float("-inf"):
+                lo = bisect_left(ordered, t0, key=_TIME_KEY)
+            if lo < len(ordered):
+                tails.append(ordered[lo:] if lo else ordered)
+        if not tails:
+            return []
+        if len(tails) == 1:
+            return list(tails[0])
+        # heapq.merge is stable across iterables in server order — the
+        # same tie-break as the historical stable sort of concatenated
+        # per-server lists.
+        return list(heapq.merge(*tails, key=_TIME_KEY))
 
     @property
     def stored_count(self) -> int:

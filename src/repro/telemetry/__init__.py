@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .critical_path import CriticalPathReport, PathStep, PhaseStat, analyze, trace_of
 from .export import (
     chrome_trace,
     chrome_trace_json,
@@ -50,6 +51,11 @@ __all__ = [
     "KernelProfiler",
     "Telemetry",
     "enable",
+    "analyze",
+    "trace_of",
+    "CriticalPathReport",
+    "PhaseStat",
+    "PathStep",
     "chrome_trace",
     "chrome_trace_json",
     "write_chrome_trace",

@@ -44,8 +44,15 @@ def _clean_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
     return out
 
 
-def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
-    """Build the trace-event dict for *tracer*'s spans and instants."""
+def chrome_trace(tracer: Tracer, flow_arrows: bool = True) -> Dict[str, Any]:
+    """Build the trace-event dict for *tracer*'s spans and instants.
+
+    With *flow_arrows* (the default), every parent→child span edge that
+    crosses tracks — a client phase causing work on a provider or
+    manager node — also emits a Chrome flow-event pair (``ph: "s"`` on
+    the parent's track, ``ph: "f"`` on the child's), so Perfetto draws
+    the causal arrows of each distributed trace across processes.
+    """
     tracks = tracer.tracks()
     tids = {track: i + 1 for i, track in enumerate(tracks)}
 
@@ -88,6 +95,18 @@ def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
             "args": args,
         })
 
+    if flow_arrows:
+        by_id = {s.span_id: s for s in spans}
+        for span in spans:
+            parent = by_id.get(span.parent_id)
+            if parent is None or parent.track == span.track:
+                continue
+            ts = round(span.start * _US, 3)
+            common = {"pid": _PID, "name": "causal", "cat": "flow",
+                      "id": span.span_id, "ts": ts}
+            events.append({"ph": "s", "tid": tids[parent.track], **common})
+            events.append({"ph": "f", "bp": "e", "tid": tids[span.track], **common})
+
     marks = sorted(
         tracer.instants,
         key=lambda m: (tids[m.track], m.time, m.name),
@@ -107,9 +126,13 @@ def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def chrome_trace_json(tracer: Tracer) -> str:
+def chrome_trace_json(tracer: Tracer, flow_arrows: bool = True) -> str:
     """Deterministic serialization (sorted keys, fixed separators)."""
-    return json.dumps(chrome_trace(tracer), sort_keys=True, separators=(",", ":"))
+    return json.dumps(
+        chrome_trace(tracer, flow_arrows=flow_arrows),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
 
 
 def write_chrome_trace(tracer: Tracer, path: str) -> str:

@@ -9,6 +9,8 @@ Stdlib-only (the simulation kernel may hold a registry).
 
 from __future__ import annotations
 
+import random
+import zlib
 from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = ["Counter", "Gauge", "Histogram", "TimeSeries", "MetricsRegistry"]
@@ -54,11 +56,20 @@ class Gauge:
 class Histogram:
     """Streaming summary of a distribution (count/sum/min/max + samples).
 
-    Samples are retained up to ``max_samples`` for percentile queries;
-    beyond that only the running aggregates stay exact.
+    Up to ``max_samples`` samples are retained for percentile queries via
+    reservoir sampling (Vitter's Algorithm R): past the cap each new
+    observation replaces a uniformly chosen slot, so the retained set
+    stays an unbiased sample of the whole stream instead of freezing on
+    the first-``max_samples`` warm-up values.  The reservoir RNG is
+    seeded from the histogram name (``crc32``, stable across processes),
+    keeping percentiles deterministic per seed.  Running aggregates
+    (count/sum/min/max) are always exact.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_samples", "max_samples")
+    __slots__ = (
+        "name", "count", "total", "min", "max",
+        "_samples", "max_samples", "_rng", "_ordered_cache",
+    )
 
     def __init__(self, name: str, max_samples: int = 100_000) -> None:
         self.name = name
@@ -68,6 +79,8 @@ class Histogram:
         self.max = float("-inf")
         self.max_samples = max_samples
         self._samples: List[float] = []
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
+        self._ordered_cache: Optional[List[float]] = None
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -79,16 +92,28 @@ class Histogram:
             self.max = value
         if len(self._samples) < self.max_samples:
             self._samples.append(value)
+            self._ordered_cache = None
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.max_samples:
+                self._samples[slot] = value
+                self._ordered_cache = None
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def _ordered(self) -> List[float]:
+        """Sorted view of the reservoir, cached between observations."""
+        if self._ordered_cache is None:
+            self._ordered_cache = sorted(self._samples)
+        return self._ordered_cache
+
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile over retained samples (q in 0..100)."""
         if not self._samples:
             return 0.0
-        ordered = sorted(self._samples)
+        ordered = self._ordered()
         rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
         return ordered[rank]
 

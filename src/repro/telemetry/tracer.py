@@ -31,11 +31,20 @@ __all__ = ["Span", "Instant", "Tracer", "NullTracer", "NULL_TRACER"]
 
 
 class Span:
-    """One timed, attributed operation on a track."""
+    """One timed, attributed operation on a track.
+
+    Every span carries a ``trace_id``: the id of the root span of its
+    causal tree.  Children inherit it from their parent (stack-implied
+    or explicitly passed), so one client operation and every piece of
+    work it causes — RPC handlers on the manager nodes, chunk ingests on
+    provider nodes, network flows — share a single trace id and form one
+    end-to-end distributed trace.
+    """
 
     __slots__ = (
         "span_id",
         "parent_id",
+        "trace_id",
         "name",
         "cat",
         "track",
@@ -54,9 +63,12 @@ class Span:
         cat: str,
         start: float,
         parent_id: int = 0,
+        trace_id: int = 0,
     ) -> None:
         self.span_id = span_id
         self.parent_id = parent_id
+        # A root span starts its own trace.
+        self.trace_id = trace_id if trace_id else span_id
         self.name = name
         self.cat = cat
         self.track = track
@@ -170,6 +182,7 @@ class Tracer:
             cat,
             self.env.now,
             parent_id=parent.span_id if parent is not None else 0,
+            trace_id=parent.trace_id if parent is not None else 0,
         )
         if attrs:
             span.attrs.update(attrs)
@@ -220,9 +233,24 @@ class Tracer:
             self.dropped += 1
         return mark
 
+    def current(self) -> Optional[Span]:
+        """The innermost open span of the active process, if any.
+
+        This is the trace context to capture when handing work to
+        another simulated process (``env.process(...)`` starts a fresh
+        span stack, so the link must travel explicitly as ``parent=``).
+        """
+        proc = self.env.active_process
+        stack = self._stacks.get(id(proc) if proc is not None else 0)
+        return stack[-1] if stack else None
+
     # -- querying --------------------------------------------------------------
     def spans_named(self, name: str) -> List[Span]:
         return [s for s in self.spans if s.name == name]
+
+    def trace_spans(self, trace_id: int) -> List[Span]:
+        """All finished spans belonging to one causal trace."""
+        return [s for s in self.spans if s.trace_id == trace_id]
 
     def children_of(self, span: Span) -> List[Span]:
         return [s for s in self.spans if s.parent_id == span.span_id]
@@ -247,6 +275,7 @@ class _NullSpan:
 
     span_id = 0
     parent_id = 0
+    trace_id = 0
     finished = True
     duration_s = 0.0
 
@@ -283,6 +312,9 @@ class NullTracer:
         return _NULL_SPAN
 
     def instant(self, *args: Any, **attrs: Any) -> None:
+        return None
+
+    def current(self) -> None:
         return None
 
     def open_spans(self) -> list:

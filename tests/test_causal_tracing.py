@@ -1,0 +1,266 @@
+"""End-to-end causal tracing: one client op = one connected trace.
+
+Covers the trace-context propagation added for the observability loop:
+spans created in other simulated processes (provider ingest/serve, chunk
+pushes) must join the originating client operation's trace, the
+critical-path analyzer must account for every sim-second of the
+operation, and fault paths must close — not orphan — their spans.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.blobseer import BlobSeerConfig, BlobSeerDeployment
+from repro.cluster import TestbedConfig
+from repro.telemetry import critical_path
+from repro.telemetry.export import chrome_trace
+
+
+def make_deployment(seed=13, **overrides):
+    defaults = dict(
+        data_providers=6,
+        metadata_providers=2,
+        chunk_size_mb=32.0,
+        replication=2,
+        testbed=TestbedConfig(seed=seed),
+    )
+    defaults.update(overrides)
+    return BlobSeerDeployment(BlobSeerConfig(**defaults))
+
+
+def run_write_read(deployment, size_mb=128.0, chunk_size_mb=32.0):
+    env = deployment.env
+    client = deployment.new_client("alice")
+    results = {}
+
+    def scenario(env):
+        blob_id = yield env.process(client.create_blob(chunk_size_mb))
+        results["blob"] = blob_id
+        results["write"] = yield env.process(
+            client.write(blob_id, 0.0, size_mb)
+        )
+        results["read"] = yield env.process(client.read(blob_id, 0.0, size_mb))
+
+    env.process(scenario(env))
+    deployment.run(until=300.0)
+    return results
+
+
+def parent_index(spans):
+    return {s.span_id: s for s in spans}
+
+
+# ------------------------------------------------------------- connectivity
+def test_write_trace_is_connected_across_all_actors():
+    deployment = make_deployment()
+    tele = telemetry.enable(deployment, profile=False)
+    results = run_write_read(deployment)
+    assert results["write"].ok
+
+    root = tele.tracer.spans_named("client.write")[0]
+    trace = tele.tracer.trace_spans(root.trace_id)
+    by_id = parent_index(trace)
+
+    # Every span in the trace reaches the root through parent links.
+    for span in trace:
+        cursor = span
+        hops = 0
+        while cursor.span_id != root.span_id:
+            assert cursor.parent_id in by_id, (
+                f"{cursor.name} is orphaned from the write trace"
+            )
+            cursor = by_id[cursor.parent_id]
+            hops += 1
+            assert hops < 50
+    assert root.parent_id == 0
+
+    # The one trace spans client, provider manager, version manager and
+    # at least one data provider node: client -> PM -> providers -> VM.
+    tracks = {s.track for s in trace}
+    assert "client-alice" in tracks or any("alice" in t for t in tracks)
+    assert "pm-node" in tracks
+    assert "vm-node" in tracks
+    assert any(t.startswith("provider-") for t in tracks)
+
+    # >= 4 protocol phases directly under the root.
+    phase_names = {s.name for s in trace if s.parent_id == root.span_id}
+    assert {"client.allocate", "client.chunk_transfer",
+            "client.ticket", "client.metadata_write",
+            "client.publish"} <= phase_names
+
+
+def test_provider_ingest_spans_join_the_write_trace():
+    deployment = make_deployment()
+    tele = telemetry.enable(deployment, profile=False)
+    run_write_read(deployment)
+
+    root = tele.tracer.spans_named("client.write")[0]
+    transfer = [s for s in tele.tracer.spans_named("client.chunk_transfer")
+                if s.trace_id == root.trace_id][0]
+    ingests = [s for s in tele.tracer.spans_named("provider.ingest")
+               if s.trace_id == root.trace_id]
+    # 4 chunks x replication 2.
+    assert len(ingests) == 8
+    for span in ingests:
+        assert span.parent_id == transfer.span_id
+        assert span.track.startswith("provider-")
+
+
+def test_read_trace_links_provider_serve():
+    deployment = make_deployment()
+    tele = telemetry.enable(deployment, profile=False)
+    run_write_read(deployment)
+
+    root = tele.tracer.spans_named("client.read")[0]
+    fetch = [s for s in tele.tracer.spans_named("client.fetch")
+             if s.trace_id == root.trace_id][0]
+    serves = [s for s in tele.tracer.spans_named("provider.serve")
+              if s.trace_id == root.trace_id]
+    assert len(serves) == 4  # one replica served per chunk
+    assert all(s.parent_id == fetch.span_id for s in serves)
+    # The VM lookup leg also joins the read trace.
+    assert any(s.name == "vm.get_latest" and s.track == "vm-node"
+               for s in tele.tracer.trace_spans(root.trace_id))
+
+
+def test_no_spans_left_open_after_clean_run():
+    deployment = make_deployment()
+    tele = telemetry.enable(deployment, profile=False)
+    run_write_read(deployment)
+    assert tele.tracer.open_spans() == []
+
+
+# ------------------------------------------------------------- critical path
+def test_phase_durations_sum_to_operation_latency():
+    deployment = make_deployment()
+    tele = telemetry.enable(deployment, profile=False)
+    results = run_write_read(deployment)
+
+    root = tele.tracer.spans_named("client.write")[0]
+    report = critical_path.analyze(tele.tracer, root=root)
+    assert report.duration_s == pytest.approx(results["write"].duration_s)
+    total = sum(phase.duration_s for phase in report.phases)
+    assert abs(total - report.duration_s) < 1e-9
+    assert len(report.phases) >= 4
+    for phase in report.phases:
+        assert phase.duration_s >= 0.0
+
+
+def test_analyze_autodetects_root_from_trace_spans():
+    deployment = make_deployment()
+    tele = telemetry.enable(deployment, profile=False)
+    run_write_read(deployment)
+
+    root = tele.tracer.spans_named("client.write")[0]
+    trace = critical_path.trace_of(tele.tracer, root)
+    report = critical_path.analyze(trace)
+    assert report.root is root
+
+
+def test_critical_path_walk_and_contributors():
+    deployment = make_deployment()
+    tele = telemetry.enable(deployment, profile=False)
+    run_write_read(deployment)
+
+    root = tele.tracer.spans_named("client.write")[0]
+    report = critical_path.analyze(tele.tracer, root=root)
+
+    assert report.critical_path[0].span is root
+    # Steps are nested within the root's interval.
+    for step in report.critical_path:
+        assert step.span.start >= root.start - 1e-9
+        assert step.span.end <= root.end + 1e-9
+        assert step.self_s >= 0.0
+    # Self time across the path accounts for the whole latency.
+    total_self = sum(step.self_s for step in report.critical_path)
+    assert total_self == pytest.approx(report.duration_s, abs=1e-6)
+    # Contributors aggregate the same self time by span name.
+    assert sum(s for _n, s in report.contributors) == pytest.approx(
+        total_self, abs=1e-6
+    )
+    # A 128 MB write is transfer-bound: chunk transfer dominates.
+    assert report.contributors[0][0] in (
+        "net.flow", "provider.ingest", "client.chunk_transfer"
+    )
+    # Replication means some pushes finish early -> positive slack somewhere.
+    assert report.top_slack(3)
+    payload = report.to_dict()
+    assert payload["span_count"] == len(report.spans)
+    assert report.render()
+
+
+# ------------------------------------------------------------- export
+def test_chrome_trace_emits_cross_process_flow_arrows():
+    deployment = make_deployment()
+    tele = telemetry.enable(deployment, profile=False)
+    run_write_read(deployment)
+
+    payload = chrome_trace(tele.tracer)
+    events = payload["traceEvents"]
+    starts = [e for e in events if e["ph"] == "s"]
+    finishes = [e for e in events if e["ph"] == "f"]
+    assert starts and len(starts) == len(finishes)
+    # Arrow pairs share ids; each corresponds to a cross-track edge.
+    assert {e["id"] for e in starts} == {e["id"] for e in finishes}
+    spans_by_id = {s.span_id: s for s in tele.tracer.spans}
+    for arrow in finishes:
+        child = spans_by_id[arrow["id"]]
+        parent = spans_by_id[child.parent_id]
+        assert parent.track != child.track
+
+    # Disabling arrows restores the pre-arrow event stream.
+    plain = chrome_trace(tele.tracer, flow_arrows=False)["traceEvents"]
+    assert all(e["ph"] not in ("s", "f") for e in plain)
+
+
+# ------------------------------------------------------------- disabled path
+def test_tracing_disabled_leaves_simulation_identical():
+    def run(with_telemetry):
+        deployment = make_deployment(seed=23)
+        if with_telemetry:
+            telemetry.enable(deployment, profile=False)
+        results = run_write_read(deployment)
+        return (
+            deployment.env.now,
+            deployment.env.events_processed,
+            results["write"].started_at,
+            results["write"].finished_at,
+            results["read"].started_at,
+            results["read"].finished_at,
+        )
+
+    assert run(False) == run(True)
+
+
+# ------------------------------------------------------------- fault paths
+def test_crashed_provider_closes_inflight_ingest_span_with_error():
+    deployment = make_deployment(seed=31, replication=1)
+    tele = telemetry.enable(deployment, profile=False)
+    env = deployment.env
+    client = deployment.new_client("alice")
+    results = {}
+
+    def scenario(env):
+        blob_id = yield env.process(client.create_blob(32.0))
+        results["write"] = yield env.process(client.write(blob_id, 0.0, 128.0))
+
+    def killer(env):
+        # Mid chunk-transfer: in-flight ingest flows get severed.
+        yield env.timeout(0.5)
+        deployment.actor_nodes["provider-0"].fail()
+
+    env.process(scenario(env))
+    env.process(killer(env))
+    deployment.run(until=300.0)
+
+    # The write survived via the client's re-placement retry.
+    assert results["write"].ok
+    ingests = tele.tracer.spans_named("provider.ingest")
+    failed = [s for s in ingests if "error" in s.attrs]
+    assert failed, "expected at least one ingest span closed with an error"
+    assert all(s.finished for s in ingests)
+    assert tele.tracer.open_spans() == []
+
+    # The failed ingest still belongs to the write's trace.
+    root = tele.tracer.spans_named("client.write")[0]
+    assert all(s.trace_id == root.trace_id for s in failed)

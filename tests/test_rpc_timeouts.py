@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import telemetry
 from repro.blobseer import BlobSeerConfig, BlobSeerDeployment, RpcTimeout
 from repro.blobseer.rpc import (
     TIMED_OUT,
@@ -261,6 +262,123 @@ def test_get_latest_with_timeout_matches_legacy_result():
     dep.run(until=env.now + 5.0)
     assert legacy["value"] == robust["value"]
     assert legacy["value"][1] == 16.0  # size reflects the append
+
+
+# ------------------------------------------------------------------ span hygiene
+def test_timed_out_rpc_closes_single_error_span():
+    """A timed-out RPC leaves exactly one span, closed with the error."""
+    testbed = make_testbed()
+    env = testbed.env
+    tele = telemetry.enable(testbed, profile=False)
+    a = testbed.add_node("a")
+    b = testbed.add_node("b")
+    b.fail()
+
+    outcome = drive(env, request_response(
+        testbed.net, "a", "b", op="probe", timeout_s=2.0,
+    ))
+    env.run(until=10.0)
+    assert isinstance(outcome["error"], RpcTimeout)
+
+    probes = tele.tracer.spans_named("probe")
+    assert len(probes) == 1
+    span = probes[0]
+    assert span.finished
+    assert "RpcTimeout" in span.attrs["error"]
+    assert span.duration_s == pytest.approx(2.0)
+    assert tele.tracer.open_spans() == []
+
+
+def test_retried_rpc_does_not_duplicate_spans():
+    """One op span covers all retry attempts — retries must not fork spans."""
+    testbed = make_testbed()
+    env = testbed.env
+    tele = telemetry.enable(testbed, profile=False)
+    a = testbed.add_node("a")
+    b = testbed.add_node("b")
+    b.fail()
+
+    def resurrect():
+        yield env.timeout(3.5)
+        b.recover()
+
+    env.process(resurrect())
+    retry = RetryPolicy(max_attempts=5, base_delay_s=1.0, multiplier=1.0,
+                        jitter=0.0)
+    outcome = drive(env, request_response(
+        testbed.net, "a", "b", op="hello", timeout_s=2.0, retry=retry,
+    ))
+    env.run(until=30.0)
+    assert "error" not in outcome
+
+    hellos = tele.tracer.spans_named("hello")
+    assert len(hellos) == 1  # two attempts, one logical span
+    span = hellos[0]
+    assert span.finished
+    assert "error" not in span.attrs  # the op eventually succeeded
+    # The span brackets both attempts: start at t=0, end after recovery.
+    assert span.start == pytest.approx(0.0)
+    assert span.end > 3.5
+    assert tele.tracer.open_spans() == []
+
+
+def test_exhausted_retries_close_span_with_error():
+    testbed = make_testbed()
+    env = testbed.env
+    tele = telemetry.enable(testbed, profile=False)
+    a = testbed.add_node("a")
+    b = testbed.add_node("b")
+    b.fail()
+
+    retry = RetryPolicy(max_attempts=3, base_delay_s=1.0, multiplier=1.0,
+                        jitter=0.0)
+    outcome = drive(env, request_response(
+        testbed.net, "a", "b", op="doomed", timeout_s=1.0, retry=retry,
+    ))
+    env.run(until=60.0)
+    assert isinstance(outcome["error"], RpcTimeout)
+
+    spans = tele.tracer.spans_named("doomed")
+    assert len(spans) == 1
+    assert "RpcTimeout" in spans[0].attrs["error"]
+    assert tele.tracer.open_spans() == []
+
+
+def test_ticket_timeout_closes_vm_span_with_error():
+    """B's queued-then-timed-out ticket span must close with the error."""
+    dep = make_deployment()
+    env = dep.env
+    tele = telemetry.enable(dep, profile=False)
+    vm = dep.vmanager
+    client = dep.new_client("setup")
+    blob_holder = {}
+
+    def setup():
+        blob_holder["id"] = yield env.process(client.create_blob(8.0))
+
+    process = env.process(setup())
+    dep.run(until=process)
+    blob_id = blob_holder["id"]
+
+    node_a = dep.testbed.add_node("caller-a")
+    node_b = dep.testbed.add_node("caller-b")
+
+    a_out = drive(env, vm.remote_ticket(node_a, blob_id, 8.0, "A"))
+    dep.run(until=env.now + 1.0)
+    assert a_out["value"] is not None
+
+    b_out = drive(env, vm.remote_ticket(node_b, blob_id, 8.0, "B",
+                                        timeout_s=2.0))
+    dep.run(until=env.now + 5.0)
+    assert isinstance(b_out["error"], RpcTimeout)
+
+    tickets = tele.tracer.spans_named("vm.ticket")
+    failed = [s for s in tickets if "error" in s.attrs]
+    assert len(failed) == 1
+    assert "RpcTimeout" in failed[0].attrs["error"]
+    assert all(s.finished for s in tickets)
+    assert tele.tracer.open_spans() == []
+    vm.abandon(a_out["value"])
 
 
 def test_client_rpc_timeout_surfaces_as_op_failure():
