@@ -22,6 +22,7 @@ Run:  python examples/introspection_dashboard.py
 """
 
 from repro import telemetry
+from repro.adaptation import CacheTuner
 from repro.blobseer import BlobSeerConfig, BlobSeerDeployment
 from repro.cluster import TestbedConfig
 from repro.introspection import (
@@ -42,6 +43,11 @@ def main(trace_path: str = DEFAULT_TRACE_PATH, until: float = 150.0) -> None:
         data_providers=10,
         metadata_providers=2,
         chunk_size_mb=64.0,
+        # Cache tiers on, so the dashboard has hit rates to show (a
+        # 64 MB chunk needs 2x capacity to pass size admission).
+        client_chunk_cache_mb=256.0,
+        client_metadata_cache_mb=8.0,
+        provider_cache_mb=256.0,
         testbed=TestbedConfig(seed=3, rate_granularity_s=0.01),
     ))
     monitoring = MonitoringStack(deployment.testbed, MonitoringConfig(
@@ -71,6 +77,12 @@ def main(trace_path: str = DEFAULT_TRACE_PATH, until: float = 150.0) -> None:
         warmup_s=10.0,
     )
     health.start(env)
+
+    # Dry-run cache tuner = cache-stats probe: it publishes the
+    # cache.<name>.* series the query engine rolls up, without resizing.
+    tuner = CacheTuner(engine, caches=deployment.caches,
+                       interval_s=10.0, dry_run=True)
+    env.process(tuner.run(env), name="cache-tuner")
 
     writers = [
         CorrectWriter(deployment.new_client(f"w{i}"), op_mb=512.0,
@@ -121,6 +133,22 @@ def main(trace_path: str = DEFAULT_TRACE_PATH, until: float = 150.0) -> None:
     print(f"monitoring: {monitoring.events_emitted} events emitted, "
           f"{monitoring.repository.stored_count} stored, "
           f"{monitoring.parameter_count()} distinct parameters")
+
+    # Cache tiers: per-cache rollup from the published series (window =
+    # whole run, so tiers that went quiet early still show up).
+    print("\n== Cache tiers (windowed) ==")
+    cache_rollup = engine.cache_stats(window_s=until)
+    busy = {n: s for n, s in cache_rollup.items()
+            if s.get("lookups_per_s", 0.0) > 0}
+    if busy:
+        for name in sorted(busy):
+            s = busy[name]
+            print(f"{name:24s} hit_rate={s.get('hit_rate', 0.0):5.2f}  "
+                  f"lookups/s={s.get('lookups_per_s', 0.0):7.2f}  "
+                  f"cached={s.get('bytes_mb', 0.0):7.1f}"
+                  f"/{s.get('capacity_mb', 0.0):.0f} MB")
+    else:
+        print("(no cache activity in window)")
 
     # Health timeline: every SLO violation / recovery / anomaly.
     print("\n== Health timeline ==")

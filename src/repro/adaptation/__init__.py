@@ -1,6 +1,8 @@
 """Self-* adaptation engines: elasticity (self-configuration),
-replication & removal (self-optimization), built on a MAPE-K loop."""
+replication, removal & cache tuning (self-optimization), built on a
+MAPE-K loop."""
 
+from .cache_tuner import CacheTuner
 from .controller import AdaptationDecision, ControlLoop
 from .elasticity import ElasticityController
 from .removal import (
@@ -16,6 +18,7 @@ from .replication_manager import ReplicationManager, migrate_chunks
 __all__ = [
     "ControlLoop",
     "AdaptationDecision",
+    "CacheTuner",
     "ElasticityController",
     "ReplicationManager",
     "migrate_chunks",

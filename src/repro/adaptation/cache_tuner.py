@@ -1,0 +1,218 @@
+"""Self-optimization: adaptive cache-capacity tuning (paper §V).
+
+The paper's self-optimization engine replicates hot data to absorb read
+concurrency; caching is the dual mechanism, and like replication it only
+pays off when capacity sits where the heat is.  The :class:`CacheTuner`
+is a MAPE-K loop over every registered :class:`~repro.cache.Cache`:
+
+- **Monitor** — between steps it differences each cache's cumulative
+  :class:`~repro.cache.CacheStats` and publishes the interval rates as
+  metrics series (``cache.<name>.hit_rate``, ``.lookups_per_s``,
+  ``.evictions_per_s``, ``.bytes_mb``, ``.capacity_mb``).
+- **Analyze** — it reads those series back through the introspection
+  :class:`~repro.introspection.query.QueryEngine` as sliding-window
+  statistics, so decisions integrate over ``window_s`` of history
+  rather than reacting to one noisy interval.
+- **Plan** — marginal-utility style: a cache that keeps *evicting*
+  while being looked up is thrashing (its hot set exceeds its budget;
+  an extra byte has high expected value), while a cache that is idle,
+  or neither evicts nor fills its budget, is insensitive to capacity
+  (a byte removed costs nothing).  Growers are ranked by evictions/s
+  per MB — the reuse being destroyed per byte of shortfall.
+- **Execute** — :meth:`~repro.cache.Cache.resize` on each side.  With
+  ``total_budget_mb`` set, growth is funded by shrinking insensitive
+  caches (plus any headroom), so the fleet-wide memory budget is
+  conserved while capacity migrates toward the heat.
+
+Decisions surface exactly like every other engine's: recorded as
+:class:`AdaptationDecision`\\ s, emitted as ``adapt.*`` trace instants
+and ``adaptation.*`` metric counters by :class:`ControlLoop`, and
+health-aware via :meth:`ControlLoop.attach_health` (a critical health
+event overrides the cooldown).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .controller import AdaptationDecision, ControlLoop
+
+__all__ = ["CacheTuner"]
+
+
+class CacheTuner(ControlLoop):
+    """Grows thrashing caches, shrinks insensitive ones."""
+
+    name = "cache-tuner"
+
+    def __init__(
+        self,
+        query,
+        caches=(),
+        interval_s: float = 10.0,
+        cooldown_s: float = 0.0,
+        window_s: Optional[float] = None,
+        total_budget_mb: Optional[float] = None,
+        min_capacity_mb: float = 4.0,
+        max_capacity_mb: Optional[float] = None,
+        step_fraction: float = 0.25,
+        evict_rate_threshold: float = 0.1,
+        idle_lookup_rate: float = 0.05,
+        spare_utilization: float = 0.5,
+        dry_run: bool = False,
+    ) -> None:
+        super().__init__(interval_s=interval_s, cooldown_s=cooldown_s)
+        #: QueryEngine supplying windowed series statistics.  Its
+        #: metrics registry is where the tuner publishes cache series;
+        #: without one the tuner observes but cannot analyze.
+        self.query = query
+        self.window_s = window_s
+        self.total_budget_mb = total_budget_mb
+        self.min_capacity_mb = min_capacity_mb
+        self.max_capacity_mb = max_capacity_mb
+        self.step_fraction = step_fraction
+        self.evict_rate_threshold = evict_rate_threshold
+        self.idle_lookup_rate = idle_lookup_rate
+        self.spare_utilization = spare_utilization
+        #: Observe-and-publish only: never resizes.  Lets dashboards use
+        #: the tuner as a cache-stats probe without ceding control.
+        self.dry_run = dry_run
+        self.caches: Dict[str, "Cache"] = {}
+        #: (hits, misses, evictions, time) at the previous step.
+        self._last: Dict[str, Tuple[int, int, int, float]] = {}
+        #: (time, {cache: capacity_mb}) after each executed step.
+        self.capacity_timeline: List[Tuple[float, Dict[str, float]]] = []
+        for cache in caches:
+            self.register(cache)
+
+    def register(self, cache) -> "CacheTuner":
+        self.caches[cache.name] = cache
+        return self
+
+    # -- monitor: publish interval rates as series -------------------------------
+    def _publish(self, now: float) -> None:
+        metrics = self.query.metrics
+        for name, cache in self.caches.items():
+            stats = cache.stats
+            snap = (stats.hits, stats.misses, stats.evictions, now)
+            prev = self._last.get(name)
+            self._last[name] = snap
+            if prev is None or metrics is None:
+                continue
+            dt = now - prev[3]
+            if dt <= 0:
+                continue
+            hits = snap[0] - prev[0]
+            lookups = hits + (snap[1] - prev[1])
+            evictions = snap[2] - prev[2]
+            if lookups > 0:
+                metrics.sample(f"cache.{name}.hit_rate", hits / lookups)
+            metrics.sample(f"cache.{name}.lookups_per_s", lookups / dt)
+            metrics.sample(f"cache.{name}.evictions_per_s", evictions / dt)
+            metrics.sample(f"cache.{name}.bytes_mb", cache.bytes_used)
+            metrics.sample(f"cache.{name}.capacity_mb", cache.capacity_mb)
+
+    # -- analyze: windowed signals through the query engine ----------------------
+    def _signals(self, name: str) -> Optional[Dict[str, float]]:
+        window = self.window_s
+        evict_rate = self.query.window_stat(
+            f"cache.{name}.evictions_per_s", "mean", window
+        )
+        lookup_rate = self.query.window_stat(
+            f"cache.{name}.lookups_per_s", "mean", window
+        )
+        if evict_rate is None or lookup_rate is None:
+            return None  # not enough history yet
+        hit_rate = self.query.window_stat(f"cache.{name}.hit_rate", "mean", window)
+        return {
+            "evict_rate": evict_rate,
+            "lookup_rate": lookup_rate,
+            "hit_rate": hit_rate if hit_rate is not None else 0.0,
+        }
+
+    # -- MAPE step -----------------------------------------------------------------
+    def step(self, now: float) -> List[AdaptationDecision]:
+        self._publish(now)
+        if self.query.metrics is None:
+            return []
+
+        growers: List[Tuple[float, str, Dict[str, float]]] = []
+        shrinkers: List[Tuple[str, float, Dict[str, float]]] = []
+        for name, cache in self.caches.items():
+            signals = self._signals(name)
+            if signals is None:
+                continue
+            busy = signals["lookup_rate"] >= self.idle_lookup_rate
+            thrashing = busy and signals["evict_rate"] > self.evict_rate_threshold
+            if thrashing:
+                # Marginal utility of one more MB ~ reuse destroyed per
+                # byte: evictions per second per MB of current budget.
+                utility = signals["evict_rate"] / max(cache.capacity_mb, 1e-9)
+                growers.append((utility, name, signals))
+                continue
+            idle = signals["lookup_rate"] < self.idle_lookup_rate
+            spare = (
+                signals["evict_rate"] <= self.evict_rate_threshold
+                and cache.utilization < self.spare_utilization
+            )
+            if idle or spare:
+                floor = self.min_capacity_mb
+                if not idle:
+                    # A healthy, in-use cache only gives up unused room.
+                    floor = max(floor, cache.bytes_used)
+                room = cache.capacity_mb - floor
+                step = min(self.step_fraction * cache.capacity_mb, room)
+                if step > 1e-9:
+                    shrinkers.append((name, step, signals))
+
+        decisions: List[AdaptationDecision] = []
+        if growers and not self.dry_run:
+            # Shrinks only happen in service of growth: an all-quiet
+            # fleet keeps its capacities (no oscillation at idle).
+            for name, step, signals in shrinkers:
+                cache = self.caches[name]
+                before = cache.capacity_mb
+                cache.resize(before - step)
+                decisions.append(AdaptationDecision(
+                    now, self.name, "cache_shrink", {
+                        "cache": name,
+                        "from_mb": round(before, 3),
+                        "to_mb": round(cache.capacity_mb, 3),
+                        "lookups_per_s": round(signals["lookup_rate"], 3),
+                        "evictions_per_s": round(signals["evict_rate"], 3),
+                    },
+                ))
+            pool: Optional[float] = None
+            if self.total_budget_mb is not None:
+                headroom = self.total_budget_mb - sum(
+                    c.capacity_mb for c in self.caches.values()
+                )
+                pool = max(0.0, headroom)
+            for utility, name, signals in sorted(growers, reverse=True):
+                cache = self.caches[name]
+                want = self.step_fraction * cache.capacity_mb
+                if self.max_capacity_mb is not None:
+                    want = min(want, self.max_capacity_mb - cache.capacity_mb)
+                if pool is not None:
+                    want = min(want, pool)
+                if want <= 1e-9:
+                    continue
+                before = cache.capacity_mb
+                cache.resize(before + want)
+                if pool is not None:
+                    pool -= want
+                decisions.append(AdaptationDecision(
+                    now, self.name, "cache_grow", {
+                        "cache": name,
+                        "from_mb": round(before, 3),
+                        "to_mb": round(cache.capacity_mb, 3),
+                        "utility": round(utility, 6),
+                        "hit_rate": round(signals["hit_rate"], 3),
+                        "evictions_per_s": round(signals["evict_rate"], 3),
+                    },
+                ))
+
+        self.capacity_timeline.append(
+            (now, {name: c.capacity_mb for name, c in self.caches.items()})
+        )
+        return decisions

@@ -93,6 +93,8 @@ class BlobSeerClient:
         rng: Optional[np.random.Generator] = None,
         rpc_timeout_s: Optional[float] = None,
         rpc_retry=None,
+        chunk_cache=None,
+        metadata_cache=None,
     ) -> None:
         self.node = node
         self.client_id = client_id
@@ -108,7 +110,15 @@ class BlobSeerClient:
         #: exactly for seeded reproduction runs.
         self.rpc_timeout_s = rpc_timeout_s
         self.rpc_retry = rpc_retry
-        self.meta = MetadataStore(node.network, node, metadata_providers)
+        #: Optional client-side chunk cache (:class:`repro.cache.Cache`).
+        #: Chunk storage keys are immutable once written, so a hit serves
+        #: the chunk from local memory — no replica pick, no provider
+        #: disk, no network transfer, zero simulation time.  ``None``
+        #: (the default) keeps the cache-less fast path byte-identical.
+        self.chunk_cache = chunk_cache
+        self.meta = MetadataStore(
+            node.network, node, metadata_providers, cache=metadata_cache
+        )
         self._wseq = itertools.count(1)
         #: Client-side cache of blob chunk sizes (filled on create/read).
         self._chunk_size: Dict[int, float] = {}
@@ -181,18 +191,34 @@ class BlobSeerClient:
             rate_cap = self.access.rate_cap(self.client_id)
             with tracer.span("client.fetch", cat="client") as fetch_span:
                 fetches = []
+                fetched: List[ChunkDescriptor] = []
+                cached_chunks = 0
                 for index in range(first, last):
                     descriptor = descriptors.get(index)
                     if descriptor is None:
                         continue  # hole: reads as zeros, nothing to fetch
+                    if (
+                        self.chunk_cache is not None
+                        and self.chunk_cache.get(descriptor.storage_key) is not None
+                    ):
+                        cached_chunks += 1
+                        continue  # served from local memory: no transfer
                     provider = self._pick_replica(descriptor)
                     fetches.append(
                         provider.serve(self.node, descriptor, self.client_id,
                                        rate_cap, ctx=fetch_span)
                     )
+                    fetched.append(descriptor)
                 fetch_span.annotate(chunks=len(fetches))
+                if self.chunk_cache is not None:
+                    fetch_span.annotate(cached=cached_chunks)
                 if fetches:
                     yield self.env.all_of(fetches)
+                if self.chunk_cache is not None:
+                    for descriptor in fetched:
+                        self.chunk_cache.put(
+                            descriptor.storage_key, descriptor, descriptor.size_mb
+                        )
             result = self._record("read", blob_id, size_mb, start, version=version)
             root.finish(ok=True, version=version)
             return result

@@ -44,6 +44,14 @@ class BlobSeerConfig:
     vm_cores: int = 1
     vm_op_cpu_s: float = 0.003
     tree_capacity: int = DEFAULT_CAPACITY
+    #: Cache tiers (repro.cache).  All default to 0 = disabled, keeping
+    #: cache-less runs byte-identical per seed.  Positive values are
+    #: byte budgets in MB per client / per provider / per client's
+    #: metadata-node cache.
+    client_chunk_cache_mb: float = 0.0
+    client_metadata_cache_mb: float = 0.0
+    provider_cache_mb: float = 0.0
+    cache_policy: str = "lru"
     testbed: TestbedConfig = field(default_factory=TestbedConfig)
 
 
@@ -74,6 +82,9 @@ class BlobSeerDeployment:
         #: HeartbeatFailureDetector, once attach_failure_detector() ran.
         self.detector = None
         self._detector_lazy_cleanup = False
+        #: Every cache tier built by this deployment (clients, providers,
+        #: gateways) registers here so a CacheTuner can adopt them all.
+        self.caches: List["Cache"] = []
 
         # -- management actors -------------------------------------------------
         vm_node = self.testbed.add_node("vm-node", cores=self.config.vm_cores)
@@ -106,15 +117,31 @@ class BlobSeerDeployment:
 
         self.clients: Dict[str, BlobSeerClient] = {}
 
+    # -- cache tiers (repro.cache) -------------------------------------------------
+    def _make_cache(self, name: str, capacity_mb: float) -> "Cache":
+        from ..cache import Cache
+
+        cache = Cache(
+            name, capacity_mb, policy=self.config.cache_policy, env=self.env
+        )
+        self.caches.append(cache)
+        return cache
+
     # -- provider pool (used by the elasticity controller too) --------------------
     def _spawn_provider(self, provider_id: str) -> DataProvider:
         node = self.testbed.add_node(
             f"{provider_id}-node", disk_mb=self.config.provider_disk_mb
         )
+        memory_cache = None
+        if self.config.provider_cache_mb > 0:
+            memory_cache = self._make_cache(
+                f"provider.{provider_id}", self.config.provider_cache_mb
+            )
         provider = DataProvider(
             node, provider_id, sink=self.sink,
             disk_rate_mbps=self.config.provider_disk_rate_mbps,
             disk_overhead_s=self.config.provider_disk_overhead_s,
+            memory_cache=memory_cache,
         )
         self.providers[provider_id] = provider
         self.actor_nodes[provider_id] = node
@@ -201,6 +228,16 @@ class BlobSeerDeployment:
         if client_id in self.clients:
             raise ValueError(f"duplicate client id {client_id!r}")
         node = self.testbed.add_node(f"{client_id}-node", site=site)
+        chunk_cache = None
+        if self.config.client_chunk_cache_mb > 0:
+            chunk_cache = self._make_cache(
+                f"chunk.{client_id}", self.config.client_chunk_cache_mb
+            )
+        metadata_cache = None
+        if self.config.client_metadata_cache_mb > 0:
+            metadata_cache = self._make_cache(
+                f"meta.{client_id}", self.config.client_metadata_cache_mb
+            )
         client = BlobSeerClient(
             node,
             client_id,
@@ -213,6 +250,8 @@ class BlobSeerDeployment:
             rng=self.rng.stream(f"client:{client_id}"),
             rpc_timeout_s=rpc_timeout_s,
             rpc_retry=rpc_retry,
+            chunk_cache=chunk_cache,
+            metadata_cache=metadata_cache,
         )
         self.clients[client_id] = client
         self.actor_nodes[client_id] = node

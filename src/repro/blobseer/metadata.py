@@ -25,6 +25,11 @@ from .rpc import CONTROL_MSG_MB
 
 __all__ = ["KVStore", "LocalKV", "MetadataProvider", "MetadataStore"]
 
+#: Cached stand-in for a ``None`` KV result (an unwritten subtree).
+#: Tree keys are version-stamped and immutable, so even "this node does
+#: not exist" is a fact that can never change and is safe to cache.
+_NEGATIVE = ("negative",)
+
 
 class KVStore(Protocol):
     """Generator-based key-value interface used by the segment tree."""
@@ -106,6 +111,12 @@ class MetadataStore:
 
     One instance per client (it needs the client's node to source the
     network messages from).
+
+    With an attached *cache* (a :class:`repro.cache.Cache`), tree nodes
+    fetched or written by this client are kept locally: versioned node
+    keys are immutable, so a cache hit returns without any network
+    round trip — zero cost in simulation time.  ``None`` results
+    (unwritten subtrees) are cached too, as negative entries.
     """
 
     def __init__(
@@ -114,6 +125,7 @@ class MetadataStore:
         client_node: PhysicalNode,
         providers: List[MetadataProvider],
         message_mb: float = CONTROL_MSG_MB,
+        cache=None,
     ) -> None:
         if not providers:
             raise ValueError("need at least one metadata provider")
@@ -121,17 +133,24 @@ class MetadataStore:
         self.client_node = client_node
         self.providers = providers
         self.message_mb = message_mb
+        self.cache = cache
 
     def _provider_for(self, key: str) -> MetadataProvider:
         return self.providers[_shard_of(key, len(self.providers))]
 
     def get(self, key: str):
+        if self.cache is not None:
+            hit, cached = self.cache.lookup(key)
+            if hit:
+                return None if cached is _NEGATIVE else cached
         provider = self._provider_for(key)
         if not provider.node.alive:
             raise NodeDownError(provider.node, f"metadata get {key}")
         yield self.net.transfer(self.client_node.name, provider.node.name, self.message_mb)
         value = provider.local_get(key)
         yield self.net.transfer(provider.node.name, self.client_node.name, self.message_mb)
+        if self.cache is not None:
+            self.cache.put(key, _NEGATIVE if value is None else value, self.message_mb)
         return value
 
     def put(self, key: str, value: Any):
@@ -141,4 +160,8 @@ class MetadataStore:
         yield self.net.transfer(self.client_node.name, provider.node.name, self.message_mb)
         provider.local_put(key, value)
         yield self.net.transfer(provider.node.name, self.client_node.name, self.message_mb)
+        if self.cache is not None:
+            # Write-through: the writer will traverse these nodes on its
+            # own subsequent reads; keys are immutable, so this is safe.
+            self.cache.put(key, value, self.message_mb)
         return None

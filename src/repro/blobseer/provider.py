@@ -54,10 +54,16 @@ class DataProvider:
         write_cpu_s: float = 0.0002,
         disk_rate_mbps: float = 120.0,
         disk_overhead_s: float = 0.003,
+        memory_cache=None,
     ) -> None:
         self.node = node
         self.provider_id = provider_id
         self.sink = sink or NullSink()
+        #: Optional memory-over-disk tier (:class:`repro.cache.Cache`):
+        #: chunks resident in RAM are served without queueing on the
+        #: FIFO disk.  Volatile — wiped whenever the node crashes.
+        #: ``None`` (default) keeps the disk-only path byte-identical.
+        self.memory_cache = memory_cache
         #: Per-chunk CPU cost of ingesting (checksum + index insert).
         self.write_cpu_s = write_cpu_s
         #: Local disk service: sequential commit at this rate plus a fixed
@@ -169,6 +175,11 @@ class DataProvider:
             if not self.node.alive:
                 raise NodeDownError(self.node, "ingest commit")
         self.node.disk.put(descriptor.size_mb)
+        if self.memory_cache is not None:
+            # Write-through: the chunk just streamed through RAM.
+            self.memory_cache.put(
+                descriptor.storage_key, descriptor, descriptor.size_mb
+            )
         if descriptor.created_at == 0.0:
             descriptor.created_at = self.env.now
         descriptor.last_access = self.env.now
@@ -204,14 +215,26 @@ class DataProvider:
             raise BlobSeerError(
                 f"provider {self.provider_id} does not hold {descriptor.storage_key}"
             )
+        memory_hit = (
+            self.memory_cache is not None
+            and self.memory_cache.get(descriptor.storage_key) is not None
+        )
         with self.env.tracer.span(
             "provider.serve", track=self.node.name, cat="provider",
             parent=ctx,
             chunk=descriptor.storage_key, size_mb=descriptor.size_mb,
             client=client_id,
-        ):
-            # Fetch from disk (same FIFO service queue as writes).
-            yield from self._disk_io(descriptor.size_mb)
+        ) as span:
+            if memory_hit:
+                # RAM-resident: skip the FIFO disk queue entirely.
+                span.annotate(memory=True)
+            else:
+                # Fetch from disk (same FIFO service queue as writes).
+                yield from self._disk_io(descriptor.size_mb)
+                if self.memory_cache is not None:
+                    self.memory_cache.put(
+                        descriptor.storage_key, descriptor, descriptor.size_mb
+                    )
             if not self.node.alive:
                 raise NodeDownError(self.node, "serve read")
             yield self.net.transfer(
@@ -247,6 +270,8 @@ class DataProvider:
         descriptor = self.chunks.pop(storage_key, None)
         if descriptor is None:
             return False
+        if self.memory_cache is not None:
+            self.memory_cache.invalidate(storage_key)
         if self.node.alive:
             self.node.disk.get(descriptor.size_mb)
         if self.provider_id in descriptor.replicas:
@@ -264,6 +289,10 @@ class DataProvider:
         self.decommissioned = False
 
     def _on_node_fail(self, _node: PhysicalNode) -> None:
+        if self.memory_cache is not None:
+            # RAM is volatile: the memory tier dies with the node, even
+            # when directory scrubbing is deferred to the detector.
+            self.memory_cache.clear()
         if self.lazy_failure_cleanup:
             # Detector mode: the loss is not knowable yet.  Replica lists
             # keep pointing here until the failure detector confirms the
@@ -290,6 +319,8 @@ class DataProvider:
             if self.provider_id in descriptor.replicas:
                 descriptor.replicas.remove(self.provider_id)
         self.chunks.clear()
+        if self.memory_cache is not None:
+            self.memory_cache.clear()
 
     def _emit(self, event_type: str, client_id, blob_id, **fields) -> None:
         self.sink.emit(MonitoringEvent(

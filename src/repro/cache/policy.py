@@ -1,0 +1,221 @@
+"""Eviction policies for :class:`repro.cache.Cache`.
+
+All policies are deterministic: given the same sequence of
+``on_insert`` / ``on_access`` / ``forget`` / ``victim`` calls they
+produce the same victims, so cache-enabled runs stay bit-for-bit
+reproducible per scenario seed.  The only stochastic policy,
+:class:`SeededRandomPolicy`, draws from an explicitly seeded generator
+for the same reason.
+
+Policies track *keys only* — byte accounting, admission and statistics
+live in :class:`~repro.cache.core.Cache`, which calls :meth:`victim`
+repeatedly until the next insertion fits.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+__all__ = ["CachePolicy", "LruPolicy", "ArcPolicy", "SeededRandomPolicy", "make_policy"]
+
+
+class CachePolicy:
+    """Interface every eviction policy implements."""
+
+    name = "policy"
+
+    def on_insert(self, key: Hashable) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def on_access(self, key: Hashable) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def victim(self) -> Optional[Hashable]:
+        """Pick, remove and return the next key to evict (None if empty)."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def forget(self, key: Hashable) -> None:  # pragma: no cover - interface
+        """Drop a key that was invalidated (not evicted)."""
+        raise NotImplementedError
+
+    def clear(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class LruPolicy(CachePolicy):
+    """Least-recently-used: evict the key untouched for longest."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def on_insert(self, key: Hashable) -> None:
+        self._order[key] = None
+        self._order.move_to_end(key)
+
+    def on_access(self, key: Hashable) -> None:
+        if key in self._order:
+            self._order.move_to_end(key)
+
+    def victim(self) -> Optional[Hashable]:
+        if not self._order:
+            return None
+        key, _ = self._order.popitem(last=False)
+        return key
+
+    def forget(self, key: Hashable) -> None:
+        self._order.pop(key, None)
+
+    def clear(self) -> None:
+        self._order.clear()
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class ArcPolicy(CachePolicy):
+    """Adaptive Replacement Cache (Megiddo & Modha).
+
+    Splits residents into a recency list T1 (seen once) and a frequency
+    list T2 (seen twice or more), plus ghost lists B1/B2 remembering
+    recent evictions from each.  A hit on a ghost shifts the adaptation
+    target ``p`` toward the list that would have kept it, so the policy
+    self-balances between LRU-like and LFU-like behaviour — one-time
+    scans cannot flush a hot working set out of T2.
+
+    The classic formulation fixes a slot count ``c``; here the byte
+    budget binds instead, so ``c`` tracks the high-water resident count
+    (the effective entry capacity under the byte limit).  The momentary
+    count won't do: it dips during eviction loops and would trim the
+    very ghost the next insertion is about to hit.
+    """
+
+    name = "arc"
+
+    def __init__(self) -> None:
+        self.t1: "OrderedDict[Hashable, None]" = OrderedDict()
+        self.t2: "OrderedDict[Hashable, None]" = OrderedDict()
+        self.b1: "OrderedDict[Hashable, None]" = OrderedDict()
+        self.b2: "OrderedDict[Hashable, None]" = OrderedDict()
+        #: Target size of T1 (the recency side), adapted on ghost hits.
+        self.p = 0.0
+        self._high_water = 0
+
+    @property
+    def _c(self) -> int:
+        return max(1, self._high_water)
+
+    def on_insert(self, key: Hashable) -> None:
+        self._high_water = max(
+            self._high_water, len(self.t1) + len(self.t2) + 1
+        )
+        if key in self.b1:
+            # Recency ghost hit: recency deserved more room.
+            self.p = min(
+                float(self._c),
+                self.p + max(1.0, len(self.b2) / max(1, len(self.b1))),
+            )
+            del self.b1[key]
+            self.t2[key] = None
+        elif key in self.b2:
+            # Frequency ghost hit: frequency deserved more room.
+            self.p = max(
+                0.0, self.p - max(1.0, len(self.b1) / max(1, len(self.b2)))
+            )
+            del self.b2[key]
+            self.t2[key] = None
+        else:
+            self.t1[key] = None
+        self._trim_ghosts()
+
+    def on_access(self, key: Hashable) -> None:
+        if key in self.t1:
+            del self.t1[key]
+            self.t2[key] = None
+        elif key in self.t2:
+            self.t2.move_to_end(key)
+
+    def victim(self) -> Optional[Hashable]:
+        if not self.t1 and not self.t2:
+            return None
+        if self.t1 and (len(self.t1) > self.p or not self.t2):
+            key, _ = self.t1.popitem(last=False)
+            self.b1[key] = None
+        else:
+            key, _ = self.t2.popitem(last=False)
+            self.b2[key] = None
+        self._trim_ghosts()
+        return key
+
+    def forget(self, key: Hashable) -> None:
+        for lst in (self.t1, self.t2, self.b1, self.b2):
+            lst.pop(key, None)
+
+    def clear(self) -> None:
+        for lst in (self.t1, self.t2, self.b1, self.b2):
+            lst.clear()
+        self.p = 0.0
+        self._high_water = 0
+
+    def _trim_ghosts(self) -> None:
+        c = self._c
+        while len(self.b1) > c:
+            self.b1.popitem(last=False)
+        while len(self.b2) > c:
+            self.b2.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self.t1) + len(self.t2)
+
+
+class SeededRandomPolicy(CachePolicy):
+    """Uniform random eviction from an explicitly seeded RNG.
+
+    A baseline for policy comparisons; deterministic per seed like
+    everything else in the simulator.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._keys: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def on_insert(self, key: Hashable) -> None:
+        self._keys[key] = None
+
+    def on_access(self, key: Hashable) -> None:
+        pass
+
+    def victim(self) -> Optional[Hashable]:
+        if not self._keys:
+            return None
+        index = self._rng.randrange(len(self._keys))
+        for i, key in enumerate(self._keys):
+            if i == index:
+                del self._keys[key]
+                return key
+        return None  # pragma: no cover - unreachable
+
+    def forget(self, key: Hashable) -> None:
+        self._keys.pop(key, None)
+
+    def clear(self) -> None:
+        self._keys.clear()
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+def make_policy(name: str, seed: int = 0) -> CachePolicy:
+    """Policy factory: ``lru`` | ``arc`` | ``random``."""
+    if name == "lru":
+        return LruPolicy()
+    if name == "arc":
+        return ArcPolicy()
+    if name == "random":
+        return SeededRandomPolicy(seed)
+    raise ValueError(f"unknown cache policy {name!r}")

@@ -307,6 +307,44 @@ class QueryEngine:
             accesses[chunk] += int(event.fields.get("count", 1))
         return sorted(accesses.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
 
+    # -- cache rollups (repro.cache tiers) -----------------------------------------
+    #: ``cache.<name>.<field>`` series fields and how each is rolled up:
+    #: rates/ratios average over the window, occupancy takes the latest.
+    _CACHE_FIELDS = {
+        "hit_rate": "mean",
+        "lookups_per_s": "mean",
+        "evictions_per_s": "mean",
+        "bytes_mb": "latest",
+        "capacity_mb": "latest",
+    }
+
+    def cache_stats(
+        self,
+        window_s: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> Dict[str, Dict[str, float]]:
+        """Windowed per-cache rollup keyed by cache name.
+
+        Consumes the ``cache.<name>.<field>`` series published by the
+        :class:`~repro.adaptation.CacheTuner` (or any other sampler).
+        Fields without samples in the window are omitted, so a cache
+        appears as soon as any of its series has data.
+        """
+        if self.metrics is None:
+            return {}
+        out: Dict[str, Dict[str, float]] = {}
+        for series_name in self.metrics.series_names("cache."):
+            body = series_name[len("cache."):]
+            name, _, field_name = body.rpartition(".")
+            statistic = self._CACHE_FIELDS.get(field_name)
+            if not name or statistic is None:
+                continue
+            value = self.window_stat(series_name, statistic, window_s, now)
+            if value is None:
+                continue
+            out.setdefault(name, {})[field_name] = value
+        return out
+
     # -- convenience constructors ------------------------------------------------
     @classmethod
     def for_deployment(

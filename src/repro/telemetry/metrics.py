@@ -213,6 +213,10 @@ class MetricsRegistry:
     def names(self) -> List[str]:
         return sorted(self.to_dict())
 
+    def series_names(self, prefix: str = "") -> List[str]:
+        """Registered time-series names, optionally filtered by prefix."""
+        return sorted(n for n in self._series if n.startswith(prefix))
+
     def __len__(self) -> int:
         return (
             len(self._counters)

@@ -1,17 +1,22 @@
 """Workload generators: correct clients, DoS attackers, canned scenarios."""
 
-from .clients import CorrectReader, CorrectWriter, DosAttacker, DosReader
+from .clients import CorrectReader, CorrectWriter, DosAttacker, DosReader, ZipfReader
 from .mapreduce import MapReduceConfig, MapReduceJob, StageStats
 from .scenarios import (
     DosScenario,
+    HotspotScenario,
     WriteScenario,
     build_dos_scenario,
+    build_hotspot_scenario,
     build_write_scenario,
 )
 
 __all__ = [
     "CorrectWriter",
     "CorrectReader",
+    "ZipfReader",
+    "HotspotScenario",
+    "build_hotspot_scenario",
     "DosAttacker",
     "DosReader",
     "WriteScenario",

@@ -9,6 +9,8 @@ clients at the data providers until the security framework blocks them.
 
 from __future__ import annotations
 
+from bisect import bisect_right
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -17,7 +19,13 @@ from ..blobseer.errors import AccessDenied, BlobSeerError
 from ..cluster.node import NodeDownError
 from ..simulation.network import TransferAborted
 
-__all__ = ["CorrectWriter", "CorrectReader", "DosAttacker", "DosReader"]
+__all__ = [
+    "CorrectWriter",
+    "CorrectReader",
+    "ZipfReader",
+    "DosAttacker",
+    "DosReader",
+]
 
 
 class CorrectWriter:
@@ -130,6 +138,100 @@ class CorrectReader:
     def mean_throughput(self) -> float:
         ok = [r.throughput_mbps for r in self.results if r.ok]
         return sum(ok) / len(ok) if ok else 0.0
+
+
+class ZipfReader:
+    """A reader with Zipf-skewed chunk popularity over a shared BLOB.
+
+    Cloud read workloads concentrate on a small hot set (popular
+    objects, shared input files); this client models that with a bounded
+    Zipf(s) distribution over the dataset's chunk indices.  Rank *r*
+    (0-based) is drawn with probability proportional to ``1/(r+1)**s``
+    via an inverse-CDF lookup, then mapped to a chunk through a seeded
+    permutation so the hot set is an arbitrary subset of the BLOB, not
+    its prefix.  All draws come from the injected *rng* stream, keeping
+    runs reproducible per seed.
+    """
+
+    def __init__(
+        self,
+        client: BlobSeerClient,
+        blob_id: int,
+        total_chunks: int,
+        chunk_size_mb: float,
+        rng,
+        skew: float = 1.1,
+        start_at: float = 0.0,
+        stop_at: float = float("inf"),
+        max_ops: Optional[int] = None,
+        think_s: float = 0.0,
+    ) -> None:
+        if total_chunks < 1:
+            raise ValueError("total_chunks must be >= 1")
+        self.client = client
+        self.blob_id = blob_id
+        self.total_chunks = total_chunks
+        self.chunk_size_mb = chunk_size_mb
+        self.rng = rng
+        self.skew = skew
+        self.start_at = start_at
+        self.stop_at = stop_at
+        self.max_ops = max_ops
+        self.think_s = think_s
+        self.results: List[OpResult] = []
+        self.denied = False
+        #: chunk index -> times read (to inspect the realized skew).
+        self.chunk_reads: Counter = Counter()
+        # Inverse-CDF table over ranks: w_r = 1/(r+1)^s, normalized.
+        weights = [1.0 / (r + 1) ** skew for r in range(total_chunks)]
+        total = sum(weights)
+        cdf, acc = [], 0.0
+        for w in weights:
+            acc += w / total
+            cdf.append(acc)
+        cdf[-1] = 1.0  # guard against float drift at the tail
+        self._cdf = cdf
+        # Seeded rank -> chunk permutation (hot set scattered over the BLOB).
+        self._rank_to_chunk = [int(i) for i in rng.permutation(total_chunks)]
+
+    def next_chunk(self) -> int:
+        """Draw one chunk index from the skewed popularity distribution."""
+        rank = bisect_right(self._cdf, float(self.rng.random()))
+        return self._rank_to_chunk[min(rank, self.total_chunks - 1)]
+
+    def run(self, env):
+        """Generator: the client's lifetime (start with ``env.process``)."""
+        if self.start_at > env.now:
+            yield env.timeout(self.start_at - env.now)
+        ops = 0
+        while env.now < self.stop_at:
+            if self.max_ops is not None and ops >= self.max_ops:
+                break
+            chunk = self.next_chunk()
+            try:
+                result = yield env.process(self.client.read(
+                    self.blob_id,
+                    chunk * self.chunk_size_mb,
+                    self.chunk_size_mb,
+                ))
+                self.results.append(result)
+                self.chunk_reads[chunk] += 1
+                ops += 1
+            except AccessDenied:
+                self.denied = True
+                return
+            except (BlobSeerError, NodeDownError, TransferAborted):
+                yield env.timeout(0.5)
+            if self.think_s > 0:
+                yield env.timeout(self.think_s)
+
+    # -- metrics -----------------------------------------------------------------
+    def mean_throughput(self) -> float:
+        ok = [r.throughput_mbps for r in self.results if r.ok]
+        return sum(ok) / len(ok) if ok else 0.0
+
+    def total_read_mb(self) -> float:
+        return sum(r.size_mb for r in self.results if r.ok)
 
 
 class DosAttacker:

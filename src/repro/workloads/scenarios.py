@@ -6,6 +6,9 @@
 - :func:`build_dos_scenario` — §IV-C: 70 BlobSeer nodes, 8 monitoring
   services, up to 50 concurrent clients, a fraction of them attackers,
   with or without the security framework.
+- :func:`build_hotspot_scenario` — a Zipf-skewed hot-spot read workload
+  over one shared dataset BLOB, the stress case for the multi-tier
+  caches (``repro.cache``) and the adaptive cache tuner.
 """
 
 from __future__ import annotations
@@ -15,17 +18,19 @@ from typing import List, Optional
 
 from ..blobseer.access import AccessTable
 from ..blobseer.deployment import BlobSeerConfig, BlobSeerDeployment
-from ..cluster.testbed import TestbedConfig
+from ..cluster.testbed import Testbed, TestbedConfig
 from ..monitoring.pipeline import MonitoringConfig, MonitoringStack
 from ..security.framework import PolicyManagement, SecurityConfig
 from ..security.policy import Policy, dos_flood_policy
-from .clients import CorrectWriter, DosAttacker
+from .clients import CorrectWriter, DosAttacker, ZipfReader
 
 __all__ = [
     "WriteScenario",
     "build_write_scenario",
     "DosScenario",
     "build_dos_scenario",
+    "HotspotScenario",
+    "build_hotspot_scenario",
 ]
 
 
@@ -241,4 +246,148 @@ def build_dos_scenario(
         correct=correct,
         attackers=attackers,
         attack_start=attack_start,
+    )
+
+
+@dataclass
+class HotspotScenario:
+    """Handles for a Zipf-skewed hot-spot read run (cache stress case)."""
+
+    deployment: BlobSeerDeployment
+    writer: CorrectWriter
+    readers: List[ZipfReader]
+    tuner: Optional["CacheTuner"]
+    dataset_chunks: int
+    chunk_size_mb: float
+    blob_id: Optional[int] = None
+    read_start: float = 0.0
+    read_end: float = 0.0
+
+    __test__ = False
+
+    def preload(self) -> int:
+        """Write the shared dataset BLOB; returns its blob id."""
+        env = self.deployment.env
+        proc = env.process(self.writer.run(env), name="hotspot-preload")
+        self.deployment.run(until=proc)
+        if self.writer.blob_id is None:
+            raise RuntimeError("dataset preload failed")
+        self.blob_id = self.writer.blob_id
+        for reader in self.readers:
+            reader.blob_id = self.blob_id
+        return self.blob_id
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Preload (if needed), then run every reader to completion."""
+        if self.blob_id is None:
+            self.preload()
+        env = self.deployment.env
+        self.read_start = env.now
+        procs = [env.process(r.run(env), name=f"hotspot-reader-{i}")
+                 for i, r in enumerate(self.readers)]
+        if self.tuner is not None:
+            env.process(self.tuner.run(env), name="cache-tuner")
+        self.deployment.run(until=until if until is not None else env.all_of(procs))
+        self.read_end = env.now
+
+    # -- metrics -------------------------------------------------------------------
+    def total_read_mb(self) -> float:
+        return sum(r.total_read_mb() for r in self.readers)
+
+    def aggregate_read_throughput(self) -> float:
+        """Fleet-wide MB/s over the read phase (the headline number)."""
+        elapsed = self.read_end - self.read_start
+        return self.total_read_mb() / elapsed if elapsed > 0 else 0.0
+
+    def cache_report(self) -> dict:
+        """Per-cache stats snapshot keyed by cache name."""
+        return {c.name: c.to_dict() for c in self.deployment.caches}
+
+
+def build_hotspot_scenario(
+    readers: int = 8,
+    dataset_chunks: int = 64,
+    chunk_size_mb: float = 8.0,
+    reads_per_client: int = 50,
+    skew: float = 1.1,
+    data_providers: int = 12,
+    metadata_providers: int = 2,
+    replication: int = 1,
+    with_caches: bool = False,
+    chunk_cache_mb: float = 64.0,
+    metadata_cache_mb: float = 8.0,
+    provider_cache_mb: float = 64.0,
+    cache_policy: str = "lru",
+    with_tuner: bool = False,
+    tuner_interval_s: float = 5.0,
+    tuner_total_budget_mb: Optional[float] = None,
+    with_metrics: bool = False,
+    seed: int = 0,
+) -> HotspotScenario:
+    """Hot-spot read workload: one writer preloads a shared dataset BLOB,
+    then *readers* clients hammer Zipf-skewed chunks of it.
+
+    With *with_caches* the client chunk/metadata tiers and the provider
+    memory tier are enabled; *with_tuner* additionally runs a
+    :class:`~repro.adaptation.CacheTuner` over every cache the
+    deployment built (this implies metrics, which the tuner needs).
+    Defaults keep every cache off, so the scenario doubles as the
+    cache-less baseline under the same RNG streams.
+    """
+    testbed = Testbed(TestbedConfig(seed=seed))
+    if with_metrics or with_tuner:
+        from ..telemetry.metrics import MetricsRegistry
+
+        testbed.env.metrics = MetricsRegistry(testbed.env)
+    deployment = BlobSeerDeployment(
+        BlobSeerConfig(
+            data_providers=data_providers,
+            metadata_providers=metadata_providers,
+            replication=replication,
+            chunk_size_mb=chunk_size_mb,
+            client_chunk_cache_mb=chunk_cache_mb if with_caches else 0.0,
+            client_metadata_cache_mb=metadata_cache_mb if with_caches else 0.0,
+            provider_cache_mb=provider_cache_mb if with_caches else 0.0,
+            cache_policy=cache_policy,
+        ),
+        testbed=testbed,
+    )
+    writer_client = deployment.new_client("hotspot-writer")
+    writer = CorrectWriter(
+        writer_client,
+        op_mb=dataset_chunks * chunk_size_mb,
+        chunk_size_mb=chunk_size_mb,
+        max_ops=1,
+    )
+    zipf_readers = []
+    for i in range(readers):
+        client = deployment.new_client(f"hotspot-reader-{i}")
+        zipf_readers.append(ZipfReader(
+            client,
+            blob_id=-1,  # patched by preload()
+            total_chunks=dataset_chunks,
+            chunk_size_mb=chunk_size_mb,
+            rng=deployment.rng.stream(f"zipf:{i}"),
+            skew=skew,
+            max_ops=reads_per_client,
+        ))
+    tuner = None
+    if with_tuner:
+        from ..adaptation.cache_tuner import CacheTuner
+        from ..introspection.query import QueryEngine
+
+        query = QueryEngine.for_deployment(deployment, window_s=3 * tuner_interval_s)
+        tuner = CacheTuner(
+            query,
+            caches=deployment.caches,
+            interval_s=tuner_interval_s,
+            total_budget_mb=tuner_total_budget_mb,
+        )
+    return HotspotScenario(
+        deployment=deployment,
+        writer=writer,
+        readers=zipf_readers,
+        tuner=tuner,
+        dataset_chunks=dataset_chunks,
+        chunk_size_mb=chunk_size_mb,
     )
