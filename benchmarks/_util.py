@@ -41,14 +41,22 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     return "\n".join(lines)
 
 
-def env_stats(env) -> Dict[str, Any]:
-    """Kernel counters for the JSON dump, from any Environment."""
+def env_stats(env, net=None) -> Dict[str, Any]:
+    """Kernel counters for the JSON dump, from any Environment.
+
+    Pass the deployment's FlowNetwork as *net* to also record the
+    water-filling pass count and solver workload, so every bench tracks
+    kernel cost for free.
+    """
     stats: Dict[str, Any] = {
         "sim_time_s": env.now,
         "events": env.events_processed,
     }
     if env.profiler is not None:
         stats.update(env.profiler.snapshot())
+    if net is not None:
+        stats["net_reallocations"] = net.reallocations
+        stats["net_realloc_flow_slots"] = net.realloc_flow_slots
     return stats
 
 
@@ -92,6 +100,8 @@ def report(
     if stats:
         for key, value in stats.items():
             payload[key] = _jsonable(value)
+    if payload.get("events") and payload.get("wall_clock_s"):
+        payload["events_per_sec"] = payload["events"] / payload["wall_clock_s"]
     json_path = os.path.join(RESULTS_DIR, f"BENCH_{exp_id}.json")
     with open(json_path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
@@ -131,6 +141,8 @@ def once(benchmark, func):
                 with open(json_path) as handle:
                     payload = json.load(handle)
                 payload["wall_clock_s"] = elapsed
+                if payload.get("events"):
+                    payload["events_per_sec"] = payload["events"] / elapsed
                 with open(json_path, "w") as handle:
                     json.dump(payload, handle, indent=2, sort_keys=True)
                     handle.write("\n")

@@ -139,7 +139,7 @@ def test_bench_cache(benchmark):
                 for name in sorted(reader_caches + [writer_cache])
             ),
         ],
-        stats=env_stats(on.deployment.env),
+        stats=env_stats(on.deployment.env, net=on.deployment.testbed.net),
         headline={"metric": "hotspot_read_speedup", "value": round(speedup, 3)},
     )
 

@@ -18,7 +18,7 @@ Shape claims: detection latency is strictly positive and close to
 only after the first confirmation, never before.
 """
 
-from _util import once, report
+from _util import env_stats, once, report
 
 from repro.adaptation import ReplicationManager
 from repro.blobseer import BlobSeerConfig, BlobSeerDeployment
@@ -117,6 +117,7 @@ def run_churn(detector_on: bool):
         "rpc_retries": metrics.counter("rpc.retries").value,
         "rpc_timeouts": metrics.counter("rpc.timeouts").value,
         "pings": detector.pings_sent if detector_on else 0,
+        "stats": env_stats(env, net=deployment.testbed.net),
     }
 
 
@@ -156,6 +157,7 @@ def test_bench_fd_detection(benchmark):
             "repair is detection-gated: no repair traffic before the "
             "first confirmation",
         ],
+        stats=grid["detector"]["stats"],
     )
 
     det = grid["detector"]

@@ -113,12 +113,7 @@ class DataProvider:
 
     @property
     def active_transfers(self) -> int:
-        out_rate, in_rate = self.node.network_load()
-        return sum(
-            1
-            for f in self.net.flows
-            if f.src.name == self.node.name or f.dst.name == self.node.name
-        )
+        return self.net.node_flow_count(self.node.name)
 
     def load_score(self) -> float:
         """Allocation-strategy load metric: live transfer rate + fill level."""

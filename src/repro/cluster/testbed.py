@@ -40,6 +40,10 @@ class TestbedConfig:
     backbone_mbps: float = float("inf")
     #: FlowNetwork rate-recompute coalescing window (0 = exact).
     rate_granularity_s: float = 0.0
+    #: Incremental (component-local) max-min fairness.  False restores
+    #: the always-global water-filling pass — same simulated results
+    #: (see the kernel determinism suite), only slower.
+    incremental_fairness: bool = True
 
 
 class Testbed:
@@ -56,6 +60,7 @@ class Testbed:
             latency=self._latency,
             backbone_capacity=self.config.backbone_mbps,
             recompute_granularity_s=self.config.rate_granularity_s,
+            incremental=self.config.incremental_fairness,
         )
         self.nodes: Dict[str, PhysicalNode] = {}
         self._site_rr = 0

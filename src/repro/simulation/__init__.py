@@ -13,6 +13,7 @@ from .events import (
     Condition,
     Event,
     Interrupt,
+    ScheduledCall,
     SimulationError,
     StopSimulation,
     Timeout,
@@ -34,6 +35,7 @@ __all__ = [
     "Environment",
     "Event",
     "Timeout",
+    "ScheduledCall",
     "Condition",
     "AllOf",
     "AnyOf",

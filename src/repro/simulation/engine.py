@@ -18,6 +18,7 @@ from .events import (
     AnyOf,
     Event,
     PENDING,
+    ScheduledCall,
     SimulationError,
     StopSimulation,
     Timeout,
@@ -87,6 +88,30 @@ class Environment:
         heapq.heappush(
             self._queue,
             (self._now + delay, _URGENT if urgent else _NORMAL, self._eid, event),
+        )
+
+    def call_at(self, when: float, fn) -> None:
+        """Kernel fast path: run bare callback *fn* at time *when*.
+
+        Unlike :meth:`timeout`, this allocates no :class:`Timeout` event —
+        just a :class:`ScheduledCall` holding the callback.  Nothing can
+        wait on it and it cannot fail; it exists for high-frequency
+        internal machinery (the flow network's completion timers and
+        recompute markers) where the full event protocol is pure
+        overhead.  *fn* receives the ScheduledCall (ignore it).
+        """
+        if when < self._now:
+            raise ValueError(f"call_at({when}) is in the past (now={self._now})")
+        self._eid += 1
+        heapq.heappush(self._queue, (when, _NORMAL, self._eid, ScheduledCall(fn)))
+
+    def call_later(self, delay: float, fn) -> None:
+        """Kernel fast path: run bare callback *fn* after *delay* seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._eid += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, _NORMAL, self._eid, ScheduledCall(fn))
         )
 
     def peek(self) -> float:

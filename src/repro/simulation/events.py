@@ -21,6 +21,7 @@ __all__ = [
     "PENDING",
     "Event",
     "Timeout",
+    "ScheduledCall",
     "Condition",
     "AllOf",
     "AnyOf",
@@ -183,6 +184,38 @@ class Timeout(Event):
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Timeout delay={self.delay}>"
+
+
+class ScheduledCall:
+    """A bare scheduled callback — the kernel's cheapest heap entry.
+
+    Internal timers (flow-completion wake-ups, rate-recompute markers,
+    periodic probes) don't need the full :class:`Event` machinery: nobody
+    waits on them, they can't fail, and they carry no value.
+    :meth:`Environment.call_at` heap-pushes one of these instead of
+    allocating a :class:`Timeout`, skipping the delay validation, the
+    ``env`` back-reference and the extra ``schedule()`` indirection.  It
+    duck-types the four attributes :meth:`Environment.step` reads.
+    """
+
+    __slots__ = ("callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, fn: Callable[["ScheduledCall"], None]) -> None:
+        self.callbacks: Optional[list] = [fn]
+        self._value = None
+        self._ok = True
+        self._defused = True
+
+    @property
+    def triggered(self) -> bool:  # pragma: no cover - introspection only
+        return True
+
+    @property
+    def processed(self) -> bool:  # pragma: no cover - introspection only
+        return self.callbacks is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ScheduledCall at {id(self):#x}>"
 
 
 class Condition(Event):

@@ -381,3 +381,88 @@ def test_many_processes_interleave_deterministically():
     env.run()
     assert trace == sorted(trace, key=lambda t: t[0])
     assert len(trace) == 9
+
+
+# -- call_at / call_later bare-callback fast path -----------------------------
+
+def test_call_later_runs_bare_callback_at_time():
+    env = Environment()
+    fired = []
+    env.call_later(2.5, lambda _ev: fired.append(env.now))
+    env.run()
+    assert fired == [2.5]
+
+
+def test_call_at_absolute_time():
+    env = Environment()
+    fired = []
+    env.call_later(1.0, lambda _ev: env.call_at(4.0, lambda _e: fired.append(env.now)))
+    env.run()
+    assert fired == [4.0]
+
+
+def test_call_at_in_past_raises():
+    env = Environment()
+    env.timeout(5.0)
+    env.run()
+    with pytest.raises(ValueError):
+        env.call_at(1.0, lambda _ev: None)
+
+
+def test_call_later_negative_delay_raises():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.call_later(-0.1, lambda _ev: None)
+
+
+def test_call_at_now_runs_after_current_event():
+    # Scheduling at the current instant from inside a callback is legal
+    # and runs later in the same timestep (FIFO by insertion id).
+    env = Environment()
+    order = []
+
+    def first(_ev):
+        order.append("first")
+        env.call_at(env.now, lambda _e: order.append("second"))
+
+    env.call_later(1.0, first)
+    env.run()
+    assert order == ["first", "second"]
+
+
+def test_call_interleaves_with_timeouts_fifo():
+    env = Environment()
+    order = []
+
+    def proc(env):
+        yield env.timeout(1.0)
+        order.append("process")
+
+    env.process(proc(env))
+    env.call_later(1.0, lambda _ev: order.append("call"))
+    env.run()
+    # The bare call was heap-pushed first (the process only creates its
+    # timeout when it first steps, at t=0), so it pops first at t=1.
+    assert order == ["call", "process"]
+
+
+def test_scheduled_call_ducktypes_event_protocol():
+    from repro.simulation import ScheduledCall
+
+    sc = ScheduledCall(lambda _ev: None)
+    assert sc.triggered
+    assert not sc.processed
+    assert sc._ok and sc._defused
+    env = Environment()
+    env.call_later(0.0, lambda _ev: None)
+    env.run()
+    assert env.events_processed == 1
+
+
+def test_scheduled_calls_count_as_events():
+    env = Environment()
+    for i in range(5):
+        env.call_later(float(i), lambda _ev: None)
+    env.run()
+    assert env.events_processed == 5
+    assert env.now == 4.0
