@@ -30,6 +30,7 @@ from repro.introspection import (
     HealthMonitor,
     IntrospectionLayer,
     QueryEngine,
+    RollupAdvisor,
     SLORule,
 )
 from repro.monitoring import MonitoringConfig, MonitoringStack
@@ -62,8 +63,10 @@ def main(trace_path: str = DEFAULT_TRACE_PATH, until: float = 150.0) -> None:
     tele = telemetry.enable(deployment)
 
     # Introspection query engine + health monitor: the live side of the
-    # observability loop.
-    engine = QueryEngine.for_deployment(deployment, monitoring, window_s=30.0)
+    # observability loop.  rollups=True attaches a RollupStore so hot
+    # query shapes can be answered from O(1) materialized pre-aggregates.
+    engine = QueryEngine.for_deployment(deployment, monitoring, window_s=30.0,
+                                        rollups=True)
     health = HealthMonitor(
         engine,
         rules=[
@@ -83,6 +86,13 @@ def main(trace_path: str = DEFAULT_TRACE_PATH, until: float = 150.0) -> None:
     tuner = CacheTuner(engine, caches=deployment.caches,
                        interval_s=10.0, dry_run=True)
     env.process(tuner.run(env), name="cache-tuner")
+
+    # Rollup advisor: watches the engine's query log and materializes
+    # pre-aggregates for hot shapes so repeated dashboard/health/tuner
+    # queries stop re-scanning raw series.
+    advisor = RollupAdvisor(engine, interval_s=15.0, min_scans=2,
+                            min_points_per_scan=8.0)
+    env.process(advisor.run(env), name="rollup-advisor")
 
     writers = [
         CorrectWriter(deployment.new_client(f"w{i}"), op_mb=512.0,
@@ -115,9 +125,15 @@ def main(trace_path: str = DEFAULT_TRACE_PATH, until: float = 150.0) -> None:
             hot = engine.hot_blobs(top=1)
             hot_txt = f"hot blob #{hot[0][0]} ({hot[0][1]} chunk ops)" if hot else "-"
             alerts = len(health.events)
+            metrics = engine.metrics
+            hits = metrics.counter("introspection.query.rollup_hits").value
+            scans = metrics.counter("introspection.query.raw_scans").value
+            rbytes = metrics.gauge("introspection.query.rollup_bytes").value
             print(f"[{env.now:7.1f}s] tput(30s)="
                   f"{tput:6.1f} MB/s | data {data_rate:7.1f} MB/s | "
-                  f"{hot_txt} | health events: {alerts}"
+                  f"{hot_txt} | health events: {alerts} | "
+                  f"rollups: {hits:.0f} hits / {scans:.0f} raw scans, "
+                  f"{rbytes / 1024.0:.1f} KiB"
                   if tput is not None else
                   f"[{env.now:7.1f}s] warming up...")
 
@@ -149,6 +165,24 @@ def main(trace_path: str = DEFAULT_TRACE_PATH, until: float = 150.0) -> None:
                   f"/{s.get('capacity_mb', 0.0):.0f} MB")
     else:
         print("(no cache activity in window)")
+
+    # Materialized rollups: what the advisor decided and what it bought.
+    print("\n== Materialized rollups ==")
+    store = engine.rollups
+    if store is not None and store.shapes():
+        from repro.introspection.rollup import shape_label
+        for shape in sorted(store.shapes()):
+            print(f"  {shape_label(shape)}")
+    else:
+        print("  (none materialized)")
+    metrics = engine.metrics
+    print(f"  {metrics.counter('introspection.query.rollup_hits').value:.0f} "
+          f"rollup hits, "
+          f"{metrics.counter('introspection.query.raw_scans').value:.0f} "
+          f"raw scans, {store.bytes_used() / 1024.0 if store else 0.0:.1f} KiB "
+          f"materialized")
+    for decision in advisor.decisions:
+        print(f"  [{decision.time:7.1f}s] {decision.action} {decision.detail}")
 
     # Health timeline: every SLO violation / recovery / anomaly.
     print("\n== Health timeline ==")

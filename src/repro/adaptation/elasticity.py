@@ -16,6 +16,14 @@ Above the high watermark it adds providers (simulating the dynamic VM
 deployment of the Nimbus integration); below the low watermark it drains
 the least-loaded provider (migrating its sole-copy chunks) and retires
 it.
+
+With a *query* engine attached the controller also publishes its pool
+signals as metrics series (``elasticity.pool_load`` / ``.pool_fill`` /
+``.pool_size``) and smooths its decisions over a sliding window instead
+of reacting to one instantaneous reading — and because those reads go
+through :meth:`QueryEngine.window_stat`, they are answered from
+materialized rollups whenever the :class:`RollupAdvisor` has
+materialized the shape.
 """
 
 from __future__ import annotations
@@ -48,10 +56,18 @@ class ElasticityController(ControlLoop):
         interval_s: float = 5.0,
         cooldown_s: float = 15.0,
         provision_delay_s: float = 10.0,
+        query=None,
+        smooth_window_s: Optional[float] = None,
     ) -> None:
         super().__init__(interval_s=interval_s, cooldown_s=cooldown_s)
         self.deployment = deployment
         self.env = deployment.env
+        #: Optional introspection QueryEngine: publishes pool signals as
+        #: series and smooths decisions over *smooth_window_s* of them.
+        self.query = query
+        self.smooth_window_s = (
+            smooth_window_s if smooth_window_s is not None else 3.0 * interval_s
+        )
         self.min_providers = min_providers
         self.max_providers = max_providers
         self.high_load = high_load
@@ -96,6 +112,19 @@ class ElasticityController(ControlLoop):
         pool = self.deployment.pmanager.pool_size() + self._provisioning
         load = self.pool_load()
         fill = self.pool_fill()
+        if self.query is not None and self.query.metrics is not None:
+            metrics = self.query.metrics
+            metrics.sample("elasticity.pool_load", load)
+            metrics.sample("elasticity.pool_fill", fill)
+            metrics.sample("elasticity.pool_size", float(pool))
+            smoothed_load = self.query.window_stat(
+                "elasticity.pool_load", "mean", self.smooth_window_s)
+            smoothed_fill = self.query.window_stat(
+                "elasticity.pool_fill", "mean", self.smooth_window_s)
+            if smoothed_load is not None:
+                load = smoothed_load
+            if smoothed_fill is not None:
+                fill = smoothed_fill
         self.pool_timeline.append((now, pool, load))
         decisions: List[AdaptationDecision] = []
 

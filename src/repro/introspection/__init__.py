@@ -1,8 +1,10 @@
 """Introspection layer: high-level aggregated system state + visualization."""
 
+from .advisor import RollupAdvisor
 from .aggregator import BlobAccessStats, ClientActivity, IntrospectionLayer
 from .health import EwmaZScore, HealthEvent, HealthMonitor, SLORule
-from .query import QueryEngine, WindowRollup
+from .query import QueryEngine, ShapeStat, WindowRollup
+from .rollup import EventRollup, ExactSum, RollupStore, SeriesRollup
 from .visualization import Dashboard, bar_chart, series_to_csv, sparkline, table
 
 __all__ = [
@@ -11,6 +13,12 @@ __all__ = [
     "BlobAccessStats",
     "QueryEngine",
     "WindowRollup",
+    "ShapeStat",
+    "RollupStore",
+    "SeriesRollup",
+    "EventRollup",
+    "ExactSum",
+    "RollupAdvisor",
     "HealthEvent",
     "HealthMonitor",
     "SLORule",

@@ -1,0 +1,541 @@
+"""Materialized rollups: O(1)-per-sample windowed pre-aggregates.
+
+ROADMAP item 5: at fleet scale the :class:`QueryEngine` becomes the
+dashboard bottleneck because every windowed query re-scans the raw
+series (bisect + slice + fold is O(window points)).  A *materialized
+rollup* inverts that cost: aggregates are maintained incrementally as
+samples arrive, so a query is a handful of O(1) reads no matter how much
+raw history exists.  Self-aware cloud architectures treat the monitoring
+layer itself as a managed subsystem (arXiv:1912.05058); the
+:class:`~repro.introspection.advisor.RollupAdvisor` closes that loop by
+creating and retiring rollups from the observed query log.
+
+Two rollup families, keyed by *query shape*:
+
+* :class:`SeriesRollup` — one metrics series × one window tier
+  (``("series", name, window_s)``).  Exact for ``count``/``sum``/
+  ``min``/``max``/``mean``/``latest``/``rate``/``value_rate``: answers
+  are **bitwise identical** to a raw scan at any query time, because the
+  running sum is held as a Shewchuk exact expansion (add *and* remove
+  are exact, and rounding the expansion equals ``math.fsum`` over the
+  window) and min/max use sliding-window monotonic deques.  Percentiles
+  (``p50``/``p95``/...) come from seeded per-bucket reservoirs (the same
+  Vitter Algorithm R the telemetry :class:`Histogram` uses) and are
+  approximate but deterministic per seed.
+* :class:`EventRollup` — monitoring-event activity per provider or per
+  site (``("events", kind, window_s)``), maintained as per-bucket
+  partial :class:`~repro.introspection.query.WindowRollup`\\ s and merged
+  at query time.  Event windows are bucket-quantized: the answer covers
+  whole buckets overlapping the window (resolution ``window/buckets``),
+  trading edge exactness for O(buckets × keys) queries independent of
+  event volume.
+
+A :class:`RollupStore` owns both families, fans incoming samples/events
+into every matching rollup, and accounts bytes so the advisor can
+enforce a memory budget.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..blobseer.instrument import EV_CHUNK_READ, EV_CHUNK_WRITE
+
+__all__ = ["ExactSum", "SeriesRollup", "EventRollup", "RollupStore"]
+
+#: Shape keys: ("series", series_name, window_s) | ("events", kind, window_s).
+Shape = Tuple[str, str, float]
+
+
+def shape_label(shape: Shape) -> str:
+    """Human-readable query-shape syntax: ``series:<name>@<window>s``."""
+    kind, key, window_s = shape
+    return f"{kind}:{key}@{window_s:g}s"
+
+
+class ExactSum:
+    """Exact running sum of float64s supporting add *and* remove.
+
+    The value is held as a Shewchuk expansion (the non-overlapping
+    partials ``math.fsum`` builds internally).  Expansion arithmetic is
+    exact, so ``add(v)`` followed later by ``remove(v)`` restores the
+    exact real sum of the remaining terms; :meth:`value` rounds the
+    expansion once, which equals ``math.fsum`` over the surviving terms
+    bit for bit.  That is what lets a sliding-window rollup evict old
+    samples without accumulating float drift.
+    """
+
+    __slots__ = ("_partials",)
+
+    def __init__(self) -> None:
+        self._partials: List[float] = []
+
+    def add(self, x: float) -> None:
+        partials = self._partials
+        i = 0
+        for y in partials:
+            if abs(x) < abs(y):
+                x, y = y, x
+            hi = x + y
+            lo = y - (hi - x)
+            if lo:
+                partials[i] = lo
+                i += 1
+            x = hi
+        partials[i:] = [x]
+
+    def remove(self, x: float) -> None:
+        self.add(-x)
+
+    def value(self) -> float:
+        """Correctly rounded sum — bitwise ``math.fsum`` of the terms."""
+        return math.fsum(self._partials)
+
+    def __len__(self) -> int:
+        return len(self._partials)
+
+
+class _ReservoirBucket:
+    """Per-time-bucket sample reservoir (Vitter R, seeded per bucket)."""
+
+    __slots__ = ("index", "seen", "samples", "_rng", "cap")
+
+    def __init__(self, seed_key: str, index: int, cap: int) -> None:
+        self.index = index
+        self.seen = 0
+        self.cap = cap
+        self.samples: List[float] = []
+        self._rng = random.Random(
+            zlib.crc32(f"{seed_key}|{index}".encode("utf-8"))
+        )
+
+    def observe(self, value: float) -> None:
+        self.seen += 1
+        if len(self.samples) < self.cap:
+            self.samples.append(value)
+        else:
+            slot = self._rng.randrange(self.seen)
+            if slot < self.cap:
+                self.samples[slot] = value
+
+
+class SeriesRollup:
+    """Incremental windowed aggregates over one append-only series.
+
+    The rollup shares the series' underlying ``points`` list (it never
+    copies samples): :meth:`observe` folds each new ``(t, v)`` into O(1)
+    amortized running state, and eviction advances a low-water index as
+    the window slides.  :meth:`covers` guards consistency — the rollup
+    only answers when it has folded in every point of the series and the
+    query time does not rewind behind previous evictions; otherwise the
+    caller must fall back to a raw scan.
+    """
+
+    __slots__ = (
+        "name", "window_s", "bucket_s", "reservoir_size",
+        "_points", "_lo", "_observed", "_sum", "_min", "_max",
+        "_buckets", "_high_time", "_horizon",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        window_s: float,
+        points: List[Tuple[float, float]],
+        bucket_count: int = 8,
+        reservoir_size: int = 64,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.name = name
+        self.window_s = float(window_s)
+        self.bucket_s = self.window_s / max(1, bucket_count)
+        self.reservoir_size = reservoir_size
+        #: The TimeSeries.points list itself (shared, append-only).
+        self._points = points
+        self._lo = 0          # first index still inside the window
+        self._observed = 0    # points folded in (== len(points) when in sync)
+        self._sum = ExactSum()
+        self._min: deque = deque()   # (t, v), increasing v
+        self._max: deque = deque()   # (t, v), decreasing v
+        self._buckets: deque = deque()  # _ReservoirBucket, increasing index
+        self._high_time = -math.inf
+        self._horizon = -math.inf    # newest eviction boundary applied
+
+    @classmethod
+    def from_series(cls, series, window_s: float, **kwargs) -> "SeriesRollup":
+        """Build and backfill from an existing :class:`TimeSeries`."""
+        rollup = cls(series.name, window_s, series.points, **kwargs)
+        for t, v in series.points:
+            rollup.observe(t, v)
+        return rollup
+
+    # -- ingest ------------------------------------------------------------------
+    def observe(self, t: float, v: float) -> None:
+        """Fold one sample in; O(1) amortized."""
+        self._observed += 1
+        self._sum.add(v)
+        mn = self._min
+        while mn and mn[-1][1] >= v:
+            mn.pop()
+        mn.append((t, v))
+        mx = self._max
+        while mx and mx[-1][1] <= v:
+            mx.pop()
+        mx.append((t, v))
+        if t > self._high_time:
+            self._high_time = t
+        buckets = self._buckets
+        index = int(t // self.bucket_s)
+        if not buckets or buckets[-1].index != index:
+            buckets.append(_ReservoirBucket(
+                f"{self.name}|{self.window_s:g}", index, self.reservoir_size))
+        buckets[-1].observe(v)
+        if t > self._horizon:
+            self._evict(t)
+
+    def _evict(self, now: float) -> None:
+        self._horizon = now
+        cut = now - self.window_s
+        points = self._points
+        while self._lo < self._observed and points[self._lo][0] <= cut:
+            self._sum.remove(points[self._lo][1])
+            self._lo += 1
+        while self._min and self._min[0][0] <= cut:
+            self._min.popleft()
+        while self._max and self._max[0][0] <= cut:
+            self._max.popleft()
+        buckets = self._buckets
+        while buckets and (buckets[0].index + 1) * self.bucket_s <= cut:
+            buckets.popleft()
+
+    # -- queries -----------------------------------------------------------------
+    def covers(self, now: float) -> bool:
+        """True when the rollup can answer a query at *now* exactly."""
+        return (
+            self._observed == len(self._points)
+            and now >= self._high_time
+            and now >= self._horizon
+        )
+
+    def stat(self, statistic: str, now: float) -> Optional[float]:
+        """One windowed statistic at *now*; ``None`` for an empty window.
+
+        Callers must check :meth:`covers` first.  Non-percentile answers
+        are bitwise identical to a raw scan of the series.
+        """
+        if now > self._horizon:
+            self._evict(now)
+        n = self._observed - self._lo
+        if n == 0:
+            return None
+        if statistic == "mean":
+            return self._sum.value() / n
+        if statistic == "min":
+            return self._min[0][1]
+        if statistic == "max":
+            return self._max[0][1]
+        if statistic == "sum":
+            return self._sum.value()
+        if statistic == "latest":
+            return self._points[self._observed - 1][1]
+        if statistic == "count":
+            return float(n)
+        if statistic == "rate":
+            return n / self.window_s
+        if statistic == "value_rate":
+            return self._sum.value() / self.window_s
+        if statistic.startswith("p"):
+            q = float(statistic[1:])
+            return self._percentile(q, now)
+        raise ValueError(f"unknown statistic {statistic!r}")
+
+    def _percentile(self, q: float, now: float) -> Optional[float]:
+        """Nearest-rank percentile over the merged bucket reservoirs."""
+        cut = now - self.window_s
+        merged: List[float] = []
+        for bucket in self._buckets:
+            if (bucket.index + 1) * self.bucket_s <= cut:
+                continue
+            merged.extend(bucket.samples)
+        if not merged:
+            return None
+        merged.sort()
+        rank = max(0, min(len(merged) - 1,
+                          int(round(q / 100.0 * (len(merged) - 1)))))
+        return merged[rank]
+
+    # -- accounting --------------------------------------------------------------
+    def estimate_bytes(self) -> int:
+        """Rough resident footprint (the points list belongs to the series)."""
+        total = 256
+        total += 64 * (len(self._min) + len(self._max))
+        total += 8 * len(self._sum)
+        for bucket in self._buckets:
+            total += 96 + 8 * len(bucket.samples)
+        return total
+
+    def __len__(self) -> int:
+        return self._observed - self._lo
+
+
+class _EventPartial:
+    """Per-bucket, per-key partial of a WindowRollup."""
+
+    __slots__ = ("chunk_reads", "chunk_writes", "mb_read", "mb_written",
+                 "events", "actors")
+
+    def __init__(self) -> None:
+        self.chunk_reads = 0
+        self.chunk_writes = 0
+        self.mb_read = 0.0
+        self.mb_written = 0.0
+        self.events = 0
+        self.actors: set = set()
+
+
+class EventRollup:
+    """Bucket-quantized per-key activity rollup over monitoring events.
+
+    *kind* names the keying (``"provider"`` or ``"site"``).  Each bucket
+    of width ``window/bucket_count`` holds per-key partials; a query
+    merges every bucket overlapping ``(now - window, now]``, so answers
+    cover whole buckets (resolution = one bucket) but cost is
+    independent of the event volume inside the window.
+    """
+
+    __slots__ = ("kind", "window_s", "bucket_s", "_buckets", "_high_time",
+                 "events_observed")
+
+    def __init__(self, kind: str, window_s: float, bucket_count: int = 8) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.kind = kind
+        self.window_s = float(window_s)
+        self.bucket_s = self.window_s / max(1, bucket_count)
+        #: bucket index -> {key: _EventPartial}
+        self._buckets: Dict[int, Dict[str, _EventPartial]] = {}
+        self._high_time = -math.inf
+        self.events_observed = 0
+
+    def observe(self, key: str, event) -> None:
+        """Fold one provider monitoring event in under *key*."""
+        self.events_observed += 1
+        t = event.time
+        if t > self._high_time:
+            self._high_time = t
+            # Buckets that can never serve a coverable query again
+            # (queries require now >= high_time) are dropped lazily.
+            cut = t - self.window_s
+            if len(self._buckets) > int(self.window_s / self.bucket_s) + 2:
+                dead = [i for i in self._buckets
+                        if (i + 1) * self.bucket_s <= cut]
+                for i in dead:
+                    del self._buckets[i]
+        index = int(t // self.bucket_s)
+        partials = self._buckets.get(index)
+        if partials is None:
+            partials = self._buckets[index] = {}
+        part = partials.get(key)
+        if part is None:
+            part = partials[key] = _EventPartial()
+        part.events += 1
+        part.actors.add(event.actor_id)
+        count = int(event.fields.get("count", 1))
+        size = float(event.fields.get("size_mb", 0.0))
+        if event.event_type == EV_CHUNK_WRITE:
+            part.chunk_writes += count
+            part.mb_written += size
+        elif event.event_type == EV_CHUNK_READ:
+            part.chunk_reads += count
+            part.mb_read += size
+
+    def covers(self, now: float) -> bool:
+        return now >= self._high_time
+
+    def query(self, now: float):
+        """Merged per-key :class:`WindowRollup`\\ s for ``(now - W, now]``."""
+        from .query import WindowRollup  # deferred: query.py imports us
+
+        cut = now - self.window_s
+        out: Dict[str, WindowRollup] = {}
+        for index, partials in self._buckets.items():
+            if (index + 1) * self.bucket_s <= cut or index * self.bucket_s > now:
+                continue
+            for key, part in partials.items():
+                entry = out.get(key)
+                if entry is None:
+                    entry = out[key] = WindowRollup(key, self.window_s)
+                entry.chunk_reads += part.chunk_reads
+                entry.chunk_writes += part.chunk_writes
+                entry.mb_read += part.mb_read
+                entry.mb_written += part.mb_written
+                entry.events += part.events
+                entry.actors |= part.actors
+        return out
+
+    def estimate_bytes(self) -> int:
+        total = 256
+        for partials in self._buckets.values():
+            total += 64
+            for part in partials.values():
+                total += 160 + 32 * len(part.actors)
+        return total
+
+
+class RollupStore:
+    """All materialized rollups of one :class:`QueryEngine`, by shape.
+
+    The store is the fan-out target: a ``MetricsRegistry`` sample
+    listener routes every new series point through
+    :meth:`observe_sample`, and the engine's repository refresh routes
+    fresh monitoring events through :meth:`observe_event`.  Unmatched
+    samples cost one dict lookup.
+    """
+
+    def __init__(self, bucket_count: int = 8, reservoir_size: int = 64) -> None:
+        self.bucket_count = bucket_count
+        self.reservoir_size = reservoir_size
+        self._series: Dict[Tuple[str, float], SeriesRollup] = {}
+        self._by_name: Dict[str, List[SeriesRollup]] = {}
+        self._events: Dict[Tuple[str, float], EventRollup] = {}
+        self.created = 0
+        self.retired = 0
+        self.samples_routed = 0
+
+    # -- lookup ------------------------------------------------------------------
+    def series_rollup(self, name: str, window_s: float) -> Optional[SeriesRollup]:
+        return self._series.get((name, window_s))
+
+    def event_rollup(self, kind: str, window_s: float) -> Optional[EventRollup]:
+        return self._events.get((kind, window_s))
+
+    def has_event_rollups(self) -> bool:
+        return bool(self._events)
+
+    def shapes(self) -> List[Shape]:
+        out: List[Shape] = [("series", name, w) for name, w in self._series]
+        out.extend(("events", kind, w) for kind, w in self._events)
+        return sorted(out)
+
+    def __len__(self) -> int:
+        return len(self._series) + len(self._events)
+
+    # -- materialize / retire ----------------------------------------------------
+    def materialize_series(self, series, window_s: float) -> SeriesRollup:
+        """Create (or return) the rollup for one series × window tier.
+
+        Backfills from the series' existing points so the rollup answers
+        consistently from its first query.
+        """
+        key = (series.name, float(window_s))
+        existing = self._series.get(key)
+        if existing is not None:
+            return existing
+        rollup = SeriesRollup.from_series(
+            series, window_s,
+            bucket_count=self.bucket_count,
+            reservoir_size=self.reservoir_size,
+        )
+        self._series[key] = rollup
+        self._by_name.setdefault(series.name, []).append(rollup)
+        self.created += 1
+        return rollup
+
+    def materialize_events(
+        self,
+        kind: str,
+        window_s: float,
+        events=(),
+        site_of: Optional[Callable[[str], str]] = None,
+    ) -> EventRollup:
+        """Create (or return) a provider/site event rollup, backfilled."""
+        if kind not in ("provider", "site"):
+            raise ValueError(f"unknown event rollup kind {kind!r}")
+        key = (kind, float(window_s))
+        existing = self._events.get(key)
+        if existing is not None:
+            return existing
+        rollup = EventRollup(kind, window_s, bucket_count=self.bucket_count)
+        self._events[key] = rollup
+        for event in events:
+            self._route_event(rollup, event, site_of)
+        self.created += 1
+        return rollup
+
+    def retire(self, shape: Shape) -> bool:
+        """Drop one rollup by shape key; returns whether it existed."""
+        family, key, window_s = shape
+        if family == "series":
+            rollup = self._series.pop((key, window_s), None)
+            if rollup is None:
+                return False
+            siblings = self._by_name.get(key, [])
+            if rollup in siblings:
+                siblings.remove(rollup)
+            if not siblings:
+                self._by_name.pop(key, None)
+            self.retired += 1
+            return True
+        if family == "events":
+            if self._events.pop((key, window_s), None) is None:
+                return False
+            self.retired += 1
+            return True
+        return False
+
+    # -- fan-out -----------------------------------------------------------------
+    def observe_sample(self, name: str, t: float, v: float) -> None:
+        """MetricsRegistry sample-listener entry point."""
+        rollups = self._by_name.get(name)
+        if not rollups:
+            return
+        self.samples_routed += 1
+        for rollup in rollups:
+            rollup.observe(t, v)
+
+    def _route_event(self, rollup: EventRollup, event, site_of) -> None:
+        if event.actor_type != "provider":
+            return
+        if rollup.kind == "provider":
+            rollup.observe(event.actor_id, event)
+        else:
+            site = site_of(event.actor_id) if site_of is not None else "?"
+            rollup.observe(site, event)
+
+    def observe_event(self, event, site_of=None) -> None:
+        """Fan one fresh monitoring event into every event rollup."""
+        for rollup in self._events.values():
+            self._route_event(rollup, event, site_of)
+
+    # -- accounting --------------------------------------------------------------
+    def bytes_used(self) -> int:
+        total = sum(r.estimate_bytes() for r in self._series.values())
+        total += sum(r.estimate_bytes() for r in self._events.values())
+        return total
+
+    def estimate_new_series_bytes(self) -> int:
+        """A-priori footprint estimate for one new series rollup."""
+        return 512 + self.bucket_count * (96 + 8 * self.reservoir_size)
+
+    def estimate_new_events_bytes(self, keys: int = 16) -> int:
+        return 256 + self.bucket_count * (64 + 192 * keys)
+
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        """Per-shape summary for dashboards / bench JSON."""
+        out: Dict[str, Dict[str, float]] = {}
+        for (name, window_s), rollup in self._series.items():
+            out[shape_label(("series", name, window_s))] = {
+                "window_points": len(rollup),
+                "bytes": rollup.estimate_bytes(),
+            }
+        for (kind, window_s), rollup in self._events.items():
+            out[shape_label(("events", kind, window_s))] = {
+                "events_observed": rollup.events_observed,
+                "bytes": rollup.estimate_bytes(),
+            }
+        return out

@@ -169,6 +169,12 @@ class MetricsRegistry:
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._series: Dict[str, TimeSeries] = {}
+        #: Sample fan-out hooks: ``fn(name, time, value)`` after every
+        #: :meth:`sample`.  Lets materialized-rollup stores (and other
+        #: streaming consumers) fold samples in as they arrive instead
+        #: of re-scanning series later.  Empty by default — the hot path
+        #: pays one truthiness check.
+        self._sample_listeners: List[Any] = []
 
     # -- instruments -----------------------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -199,7 +205,21 @@ class MetricsRegistry:
         """Append one series point, stamped with ``env.now`` by default."""
         if time is None:
             time = self.env.now if self.env is not None else 0.0
+        time = float(time)
+        value = float(value)
         self.series(name).record(time, value)
+        if self._sample_listeners:
+            for listener in self._sample_listeners:
+                listener(name, time, value)
+
+    def add_sample_listener(self, listener) -> None:
+        """Subscribe ``fn(name, time, value)`` to every future sample."""
+        if listener not in self._sample_listeners:
+            self._sample_listeners.append(listener)
+
+    def remove_sample_listener(self, listener) -> None:
+        if listener in self._sample_listeners:
+            self._sample_listeners.remove(listener)
 
     # -- export ----------------------------------------------------------------
     def to_dict(self) -> Dict[str, Dict[str, Any]]:
