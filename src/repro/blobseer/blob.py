@@ -81,6 +81,11 @@ class VersionRecord:
     ticket_time: float
     publish_time: Optional[float] = None
     written_range: Optional[Tuple[float, float]] = None  # (offset, size)
+    #: Burned: the writer (or a failover) gave the version up.  An
+    #: abandoned version can never be published — late ``complete``
+    #: retries must not resurrect it (successor tickets already chain
+    #: past it).
+    abandoned: bool = False
 
     @property
     def published(self) -> bool:

@@ -52,6 +52,19 @@ class BlobSeerConfig:
     client_metadata_cache_mb: float = 0.0
     provider_cache_mb: float = 0.0
     cache_policy: str = "lru"
+    #: Control-plane replication (repro.robustness.replication).  The
+    #: defaults build the original single managers and change nothing:
+    #: replicated runs are opt-in so baseline scenarios stay
+    #: byte-identical per seed.  ``vm_replicas >= 2`` deploys that many
+    #: version-manager replicas (replica 0 is the boot primary) with a
+    #: quorum-committed log and epoch-fenced failover; ``pm_standby``
+    #: adds a warm-standby provider manager.  Both switch the network to
+    #: black-hole semantics (as attach_failure_detector does).
+    vm_replicas: int = 1
+    pm_standby: bool = False
+    failover_detect_period_s: float = 1.0
+    failover_detect_timeout_s: float = 3.0
+    failover_confirm_misses: int = 2
     testbed: TestbedConfig = field(default_factory=TestbedConfig)
 
 
@@ -101,6 +114,51 @@ class BlobSeerDeployment:
         )
         self.pmanager = ProviderManager(pm_node, strategy=strategy, sink=self.sink)
 
+        # -- replicated control plane (opt-in) ---------------------------------
+        self.vm_group = None
+        self.pm_group = None
+        if self.config.vm_replicas > 1:
+            from ..robustness.replication import ReplicatedVersionManager
+
+            self.net.blackhole_missing = True
+            vms = [self.vmanager]
+            for i in range(1, self.config.vm_replicas):
+                node = self.testbed.add_node(
+                    f"vm-node-{i}", cores=self.config.vm_cores
+                )
+                vm = VersionManager(
+                    node, sink=self.sink,
+                    op_cpu_s=self.config.vm_op_cpu_s,
+                    tree_capacity=self.config.tree_capacity,
+                )
+                self.actor_nodes[f"vm-{i}"] = node
+                vms.append(vm)
+            self.vm_group = ReplicatedVersionManager(
+                self.testbed, vms,
+                detect_period_s=self.config.failover_detect_period_s,
+                detect_timeout_s=self.config.failover_detect_timeout_s,
+                confirm_misses=self.config.failover_confirm_misses,
+            )
+        if self.config.pm_standby:
+            from ..robustness.replication import WarmStandbyProviderManager
+
+            self.net.blackhole_missing = True
+            node = self.testbed.add_node("pm-node-standby")
+            self.actor_nodes["pm-standby"] = node
+            standby = ProviderManager(
+                node,
+                strategy=make_strategy(
+                    self.config.allocation, self.rng.stream("allocation-standby")
+                ),
+                sink=self.sink,
+            )
+            self.pm_group = WarmStandbyProviderManager(
+                self, self.pmanager, standby,
+                detect_period_s=self.config.failover_detect_period_s,
+                detect_timeout_s=self.config.failover_detect_timeout_s,
+                confirm_misses=self.config.failover_confirm_misses,
+            )
+
         # -- metadata providers ---------------------------------------------------
         self.metadata_providers: List[MetadataProvider] = []
         for i in range(self.config.metadata_providers):
@@ -145,7 +203,10 @@ class BlobSeerDeployment:
         )
         self.providers[provider_id] = provider
         self.actor_nodes[provider_id] = node
-        self.pmanager.register(provider)
+        pmanager = self.pmanager
+        if self.pm_group is not None:
+            pmanager = self.pm_group.active_pm()
+        pmanager.register(provider)
         if self.detector is not None:
             self.detector.watch(node)
             provider.lazy_failure_cleanup = self._detector_lazy_cleanup
@@ -238,11 +299,25 @@ class BlobSeerDeployment:
             metadata_cache = self._make_cache(
                 f"meta.{client_id}", self.config.client_metadata_cache_mb
             )
+        # Replicated control plane: clients talk to failover-aware
+        # handles that re-resolve the primary instead of to a fixed
+        # manager.  Unreplicated (the default), they get the managers
+        # directly — the original wiring, untouched.
+        vmanager = self.vmanager
+        if self.vm_group is not None:
+            vmanager = self.vm_group.handle(
+                rng=self.rng.stream(f"vm-resolve:{client_id}")
+            )
+        pmanager = self.pmanager
+        if self.pm_group is not None:
+            pmanager = self.pm_group.handle(
+                rng=self.rng.stream(f"pm-resolve:{client_id}")
+            )
         client = BlobSeerClient(
             node,
             client_id,
-            pmanager=self.pmanager,
-            vmanager=self.vmanager,
+            pmanager=pmanager,
+            vmanager=vmanager,
             metadata_providers=self.metadata_providers,
             sink=self.sink,
             access=self.access,
@@ -266,6 +341,8 @@ class BlobSeerDeployment:
         return self.env.run(until=until)
 
     def storage_stats(self) -> dict:
+        if self.pm_group is not None:
+            return self.pm_group.active_pm().pool_stats()
         return self.pmanager.pool_stats()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -11,6 +11,10 @@ __all__ = [
     "NoProvidersAvailable",
     "ChunkLost",
     "RpcTimeout",
+    "NotActivePrimary",
+    "StaleEpoch",
+    "NoActivePrimary",
+    "TicketRevoked",
 ]
 
 
@@ -72,3 +76,56 @@ class ChunkLost(BlobSeerError):
     def __init__(self, chunk_key: str) -> None:
         super().__init__(f"all replicas lost for chunk {chunk_key}")
         self.chunk_key = chunk_key
+
+
+class NotActivePrimary(BlobSeerError):
+    """The replica that received this request is not the active primary.
+
+    Raised by a standby (or a deposed ex-primary) version/provider
+    manager; clients react by re-resolving which replica currently
+    serves and retrying there.
+    """
+
+    def __init__(self, replica: str, role: str = "standby") -> None:
+        super().__init__(f"replica {replica} is not the active primary ({role})")
+        self.replica = replica
+        self.role = role
+
+
+class StaleEpoch(BlobSeerError):
+    """A replication message carried an epoch older than the receiver's.
+
+    The epoch fence: a deposed primary shipping log records (or trying
+    to commit) learns it has been superseded and demotes itself.
+    """
+
+    def __init__(self, sender_epoch: int, receiver_epoch: int) -> None:
+        super().__init__(
+            f"epoch {sender_epoch} superseded by epoch {receiver_epoch}"
+        )
+        self.sender_epoch = sender_epoch
+        self.receiver_epoch = receiver_epoch
+
+
+class NoActivePrimary(BlobSeerError):
+    """Primary discovery exhausted its attempts without finding a leader."""
+
+    def __init__(self, service: str, attempts: int) -> None:
+        super().__init__(
+            f"no active primary for {service} after {attempts} resolve round(s)"
+        )
+        self.service = service
+        self.attempts = attempts
+
+
+class TicketRevoked(BlobSeerError):
+    """The ticket's version was abandoned (burned) before publication.
+
+    After a failover the new primary burns all in-flight tickets; a
+    surviving writer's late ``complete`` must not resurrect them.
+    """
+
+    def __init__(self, blob_id: int, version: int) -> None:
+        super().__init__(f"ticket for blob {blob_id} version {version} was revoked")
+        self.blob_id = blob_id
+        self.version = version

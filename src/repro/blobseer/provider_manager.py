@@ -15,7 +15,7 @@ from typing import Dict, List, Optional
 
 from ..cluster.node import NodeDownError, PhysicalNode
 from .allocation import AllocationStrategy, RoundRobinAllocation
-from .errors import NoProvidersAvailable
+from .errors import NoProvidersAvailable, NotActivePrimary
 from .instrument import (
     EV_ALLOCATION,
     EV_PROVIDER_JOIN,
@@ -52,6 +52,10 @@ class ProviderManager:
         self.allocation_cpu_s = allocation_cpu_s
         self.providers: Dict[str, DataProvider] = {}
         self.allocations = 0
+        #: Warm standby (repro.robustness.replication): a standby refuses
+        #: allocations until its takeover re-registration sweep finishes.
+        #: False for the plain single-manager deployment.
+        self.standby = False
         #: Optional HeartbeatFailureDetector.  When set, membership is
         #: judged by the detector's *view* instead of the ``node.alive``
         #: oracle: a crashed-but-undetected provider keeps getting
@@ -156,6 +160,7 @@ class ProviderManager:
                 caller=caller.name, chunks=chunk_count, replication=replication,
             ) as span:
                 yield self.net.transfer(caller.name, self.node.name, CONTROL_MSG_MB)
+                self._fence()
                 if self.allocation_cpu_s > 0:
                     yield from self.node.compute(self.allocation_cpu_s)
                 placement = self.allocate(chunk_count, replication, client_id)
@@ -190,6 +195,7 @@ class ProviderManager:
                 raise make_timeout_error(env, "pm.allocate", self.node.name, timeout_s)
             if not self.node.alive:
                 raise NodeDownError(self.node, "allocate")
+            self._fence()
             if self.allocation_cpu_s > 0:
                 yield from self.node.compute(self.allocation_cpu_s)
             placement = self.allocate(chunk_count, replication, client_id)
@@ -204,6 +210,11 @@ class ProviderManager:
             if value is TIMED_OUT:
                 raise make_timeout_error(env, "pm.allocate", self.node.name, timeout_s)
         return placement
+
+    def _fence(self) -> None:
+        """Reject the request while this manager is a warm standby."""
+        if self.standby:
+            raise NotActivePrimary(self.node.name, "standby")
 
     # -- introspection ----------------------------------------------------------
     def pool_stats(self) -> dict:

@@ -111,8 +111,11 @@ def with_retries(env, attempt: Callable[[], object], retry=None):
             if exhausted:
                 raise
             backoff = retry.backoff_s(failures)
-            if deadline is not None:
-                backoff = min(backoff, max(0.0, deadline - env.now))
+            if deadline is not None and env.now + backoff >= deadline:
+                # Sleeping out the backoff would only wake us past the
+                # overall deadline with no budget left for another
+                # attempt — give up now instead of sleeping into it.
+                raise
             metrics = env.metrics
             if metrics is not None:
                 metrics.counter("rpc.retries").inc()

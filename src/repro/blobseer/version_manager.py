@@ -19,14 +19,19 @@ Write protocol implemented here (matching BlobSeer's):
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..cluster.node import NodeDownError, PhysicalNode
 from ..simulation.resources import Resource
 from .blob import BlobInfo, VersionRecord
-from .errors import BlobNotFound, BlobSeerError, VersionNotFound
+from .errors import (
+    BlobNotFound,
+    BlobSeerError,
+    NotActivePrimary,
+    TicketRevoked,
+    VersionNotFound,
+)
 from .instrument import (
     EV_PUBLISH,
     EV_TICKET,
@@ -79,12 +84,19 @@ class VersionManager:
         self.op_cpu_s = op_cpu_s
         self.tree_capacity = tree_capacity
         self.blobs: Dict[int, BlobInfo] = {}
-        self._blob_ids = itertools.count(1)
+        #: Next blob id to mint (plain int so replicas can mirror it).
+        self._next_blob_id = 1
         #: Per-blob metadata critical section (ticket -> complete).
         self._locks: Dict[int, Resource] = {}
         self._held: Dict[int, object] = {}
         self.tickets_issued = 0
         self.versions_published = 0
+        #: Replication hook (repro.robustness.replication.VMReplica).
+        #: None = unreplicated single manager, the byte-identical default.
+        self.replicator = None
+        #: Standby replicas apply the log without emitting monitoring
+        #: events or metrics (only the active primary is observable).
+        self.passive = False
 
     @property
     def env(self):
@@ -98,10 +110,18 @@ class VersionManager:
     def create_blob(self, chunk_size_mb: float) -> int:
         if chunk_size_mb <= 0:
             raise ValueError("chunk_size_mb must be positive")
-        blob_id = next(self._blob_ids)
+        blob_id = self._next_blob_id
+        self.apply_create(blob_id, chunk_size_mb)
+        return blob_id
+
+    def apply_create(self, blob_id: int, chunk_size_mb: float) -> None:
+        """Materialize blob *blob_id*; idempotent (log replay safe)."""
+        if blob_id >= self._next_blob_id:
+            self._next_blob_id = blob_id + 1
+        if blob_id in self.blobs:
+            return
         self.blobs[blob_id] = BlobInfo(blob_id=blob_id, chunk_size_mb=chunk_size_mb)
         self._locks[blob_id] = Resource(self.env, capacity=1)
-        return blob_id
 
     def blob_info(self, blob_id: int) -> BlobInfo:
         info = self.blobs.get(blob_id)
@@ -122,6 +142,58 @@ class VersionManager:
         return record
 
     # -- ticketing ---------------------------------------------------------------
+    def _peek_ticket(
+        self,
+        blob_id: int,
+        size_mb: float,
+        offset_mb: Optional[float],
+    ) -> Tuple[int, Optional[int], float, float]:
+        """Compute (version, prev, offset, new_size) without mutating.
+
+        ``prev`` is the latest *published* version, not ``version - 1``:
+        abandoned tickets burn version numbers whose metadata tree was
+        never written, and chaining the copy-on-write tree onto such a
+        hole would silently drop every earlier chunk.  Tickets serialize
+        per blob, so at issue time all prior versions are published or
+        abandoned and ``info.latest`` is the correct parent.
+        """
+        info = self.blob_info(blob_id)
+        version = info.next_version
+        prev = info.latest if info.latest > 0 else None
+        if offset_mb is None:  # append: tail of the blob as of the previous ticket
+            offset_mb = info.size_mb
+        new_size = max(info.size_mb, offset_mb + size_mb)
+        return version, prev, offset_mb, new_size
+
+    def apply_ticket(
+        self,
+        blob_id: int,
+        version: int,
+        size_mb: float,
+        writer: str,
+        offset_mb: float,
+        new_size_mb: float,
+        time: Optional[float] = None,
+    ) -> None:
+        """Record a granted ticket; idempotent (log replay safe)."""
+        info = self.blob_info(blob_id)
+        if version >= info.next_version:
+            info.next_version = version + 1
+        if version in info.versions:
+            return
+        info.versions[version] = VersionRecord(
+            blob_id=blob_id,
+            version=version,
+            size_mb=new_size_mb,
+            writer=writer,
+            ticket_time=self.env.now if time is None else time,
+            written_range=(offset_mb, size_mb),
+        )
+        self.tickets_issued += 1
+        if not self.passive:
+            self._emit(EV_TICKET, client_id=writer, blob_id=blob_id,
+                       version=version, size_mb=size_mb)
+
     def _issue_ticket(
         self,
         blob_id: int,
@@ -129,25 +201,10 @@ class VersionManager:
         writer: str,
         offset_mb: Optional[float],
     ) -> Ticket:
-        info = self.blob_info(blob_id)
-        version = info.next_version
-        info.next_version += 1
-        prev = version - 1 if version > 1 else None
-        if offset_mb is None:  # append: tail of the blob as of the previous ticket
-            offset_mb = info.size_mb
-        new_size = max(info.size_mb, offset_mb + size_mb)
-        record = VersionRecord(
-            blob_id=blob_id,
-            version=version,
-            size_mb=new_size,
-            writer=writer,
-            ticket_time=self.env.now,
-            written_range=(offset_mb, size_mb),
+        version, prev, offset_mb, new_size = self._peek_ticket(
+            blob_id, size_mb, offset_mb
         )
-        info.versions[version] = record
-        self.tickets_issued += 1
-        self._emit(EV_TICKET, client_id=writer, blob_id=blob_id,
-                   version=version, size_mb=size_mb)
+        self.apply_ticket(blob_id, version, size_mb, writer, offset_mb, new_size)
         return Ticket(
             blob_id=blob_id,
             version=version,
@@ -156,18 +213,22 @@ class VersionManager:
             new_size_mb=new_size,
         )
 
-    def _publish(self, blob_id: int, version: int) -> None:
+    def _publish(self, blob_id: int, version: int, time: Optional[float] = None) -> None:
         info = self.blob_info(blob_id)
         record = info.versions.get(version)
         if record is None:
             raise VersionNotFound(blob_id, version)
+        if record.abandoned:
+            raise TicketRevoked(blob_id, version)
         if record.published:
             raise BlobSeerError(f"version {version} of blob {blob_id} already published")
-        record.publish_time = self.env.now
+        record.publish_time = self.env.now if time is None else time
         # Tickets are serialized per blob, so versions publish in order.
         info.latest = version
         info.size_mb = record.size_mb
         self.versions_published += 1
+        if self.passive:
+            return
         metrics = self.env.metrics
         if metrics is not None:
             metrics.counter("vm.versions_published").inc()
@@ -177,6 +238,121 @@ class VersionManager:
         self._emit(EV_PUBLISH, client_id=record.writer, blob_id=blob_id,
                    version=version, blob_size_mb=record.size_mb,
                    latency_s=self.env.now - record.ticket_time)
+
+    def apply_abandon(self, blob_id: int, version: int) -> None:
+        """Burn a version; idempotent (log replay safe)."""
+        info = self.blobs.get(blob_id)
+        record = info.versions.get(version) if info is not None else None
+        if record is not None and not record.published:
+            record.abandoned = True
+
+    # -- replication apply (standby mirror + promotion replay) -------------------
+    def apply_record(self, kind: str, payload: dict) -> None:
+        """Apply one replicated log record.  Every branch is idempotent,
+        so a full log replay (promotion, rejoin catch-up) converges to
+        the same state as incremental application."""
+        if kind == "create":
+            self.apply_create(payload["blob_id"], payload["chunk_size_mb"])
+        elif kind == "ticket":
+            self.apply_ticket(
+                payload["blob_id"], payload["version"], payload["size_mb"],
+                payload["writer"], payload["offset_mb"], payload["new_size_mb"],
+                time=payload.get("time"),
+            )
+        elif kind == "publish":
+            info = self.blobs.get(payload["blob_id"])
+            record = info.versions.get(payload["version"]) if info else None
+            if record is not None and not record.published and not record.abandoned:
+                self._publish(payload["blob_id"], payload["version"],
+                              time=payload.get("time"))
+        elif kind == "abandon":
+            self.apply_abandon(payload["blob_id"], payload["version"])
+        else:  # pragma: no cover - log corruption guard
+            raise BlobSeerError(f"unknown replication record kind {kind!r}")
+
+    def reset_state(self) -> None:
+        """Drop all state (divergent rejoiner about to replay a fresh log)."""
+        self.blobs.clear()
+        self._locks.clear()
+        self._held.clear()
+        self._next_blob_id = 1
+        self.tickets_issued = 0
+        self.versions_published = 0
+
+    def release_all_held(self) -> None:
+        """Free every held per-blob lock (failover promotion: the lock
+        holders were the old primary's RPC requests and no longer exist
+        here; their tickets have just been burned)."""
+        for (blob_id, _version), request in list(self._held.items()):
+            lock = self._locks.get(blob_id)
+            if lock is not None:
+                lock.release(request)
+        self._held.clear()
+
+    # -- replicated mutation helpers ----------------------------------------------
+    # Each helper is a generator that, unreplicated, returns before its
+    # first yield (zero added events: replicas=1 runs stay byte-identical
+    # per seed) and, replicated, commits the mutation through the
+    # replica's sequenced log (quorum ack) before applying it.
+    def _do_create(self, chunk_size_mb: float):
+        if chunk_size_mb <= 0:
+            raise ValueError("chunk_size_mb must be positive")
+        if self.replicator is None:
+            return self.create_blob(chunk_size_mb)
+        payload = yield from self.replicator.commit(
+            "create",
+            lambda: {"blob_id": self._next_blob_id,
+                     "chunk_size_mb": chunk_size_mb},
+        )
+        return payload["blob_id"]
+
+    def _grant_ticket(self, blob_id, size_mb, writer, offset_mb):
+        """Generator: mint the ticket (the per-blob lock is already held)."""
+        if self.replicator is None:
+            return self._issue_ticket(blob_id, size_mb, writer, offset_mb)
+
+        def build():
+            version, prev, off, new_size = self._peek_ticket(
+                blob_id, size_mb, offset_mb
+            )
+            return {
+                "blob_id": blob_id, "version": version, "prev_version": prev,
+                "size_mb": size_mb, "offset_mb": off, "new_size_mb": new_size,
+                "writer": writer, "time": self.env.now,
+            }
+
+        payload = yield from self.replicator.commit("ticket", build)
+        return Ticket(
+            blob_id=blob_id,
+            version=payload["version"],
+            prev_version=payload["prev_version"],
+            offset_mb=payload["offset_mb"],
+            new_size_mb=payload["new_size_mb"],
+        )
+
+    def _do_publish(self, blob_id: int, version: int):
+        if self.replicator is None:
+            self._publish(blob_id, version)
+            return
+        record = self.blob_info(blob_id).versions.get(version)
+        if record is None:
+            raise VersionNotFound(blob_id, version)
+        if record.abandoned:
+            raise TicketRevoked(blob_id, version)
+        if record.published:
+            raise BlobSeerError(
+                f"version {version} of blob {blob_id} already published"
+            )
+        yield from self.replicator.commit(
+            "publish",
+            lambda: {"blob_id": blob_id, "version": version,
+                     "time": self.env.now},
+        )
+
+    def _fence(self) -> None:
+        """Reject the request unless this replica is the active primary."""
+        if self.replicator is not None and not self.replicator.serving():
+            raise NotActivePrimary(self.node.name, self.replicator.role)
 
     # -- remote operations (what clients call) -------------------------------------
     def remote_create_blob(
@@ -190,7 +366,7 @@ class VersionManager:
             with self.env.tracer.span("vm.create_blob", track=self.node.name,
                                       cat="rpc", caller=caller.name):
                 yield from self._roundtrip_in(caller)
-                blob_id = self.create_blob(chunk_size_mb)
+                blob_id = yield from self._do_create(chunk_size_mb)
                 yield from self._roundtrip_out(caller)
             return blob_id
         blob_id = yield from with_retries(
@@ -205,7 +381,7 @@ class VersionManager:
         with self.env.tracer.span("vm.create_blob", track=self.node.name,
                                   cat="rpc", caller=caller.name):
             yield from self._guarded_in(caller, deadline, timeout_s, "vm.create_blob")
-            blob_id = self.create_blob(chunk_size_mb)
+            blob_id = yield from self._do_create(chunk_size_mb)
             yield from self._guarded_out(caller, deadline, timeout_s, "vm.create_blob")
         return blob_id
 
@@ -237,7 +413,14 @@ class VersionManager:
                     raise BlobNotFound(blob_id)
                 request = lock.request()
                 yield request
-                ticket = self._issue_ticket(blob_id, size_mb, writer, offset_mb)
+                try:
+                    ticket = yield from self._grant_ticket(
+                        blob_id, size_mb, writer, offset_mb
+                    )
+                except BaseException:
+                    # Commit failed (e.g. quorum lost): free the blob.
+                    lock.release(request)
+                    raise
                 span.annotate(version=ticket.version)
                 self._held[ticket.version_key()] = request
                 yield from self._roundtrip_out(caller)
@@ -271,7 +454,13 @@ class VersionManager:
                 else:
                     request.cancel()
                 raise make_timeout_error(self.env, "vm.ticket", self.node.name, timeout_s)
-            ticket = self._issue_ticket(blob_id, size_mb, writer, offset_mb)
+            try:
+                ticket = yield from self._grant_ticket(
+                    blob_id, size_mb, writer, offset_mb
+                )
+            except BaseException:
+                lock.release(request)
+                raise
             span.annotate(version=ticket.version)
             self._held[ticket.version_key()] = request
             try:
@@ -295,7 +484,7 @@ class VersionManager:
             with self.env.tracer.span("vm.publish", track=self.node.name, cat="rpc",
                                       blob=ticket.blob_id, version=ticket.version):
                 yield from self._roundtrip_in(caller)
-                self._publish(ticket.blob_id, ticket.version)
+                yield from self._do_publish(ticket.blob_id, ticket.version)
                 request = self._held.pop(ticket.version_key(), None)
                 if request is not None:
                     self._locks[ticket.blob_id].release(request)
@@ -316,10 +505,15 @@ class VersionManager:
             record = self.blob_info(ticket.blob_id).versions.get(ticket.version)
             if record is None:
                 raise VersionNotFound(ticket.blob_id, ticket.version)
+            # A burned ticket (writer gave up, or a failover revoked all
+            # in-flight tickets) must never be resurrected by a late
+            # retry: successor versions already chain past it.
+            if record.abandoned:
+                raise TicketRevoked(ticket.blob_id, ticket.version)
             # Idempotent: a retry whose predecessor published but lost
             # the response finds the version already out and just acks.
             if not record.published:
-                self._publish(ticket.blob_id, ticket.version)
+                yield from self._do_publish(ticket.blob_id, ticket.version)
                 request = self._held.pop(ticket.version_key(), None)
                 if request is not None:
                     self._locks[ticket.blob_id].release(request)
@@ -335,6 +529,12 @@ class VersionManager:
         """
         request = self._held.pop(ticket.version_key(), None)
         if request is not None:
+            self.apply_abandon(ticket.blob_id, ticket.version)
+            if self.replicator is not None:
+                # Synchronous append + fire-and-forget ship: an unacked
+                # abandon lost with this primary is re-burned by the next
+                # primary's in-flight-ticket sweep.
+                self.replicator.log_abandon(ticket.blob_id, ticket.version)
             self._locks[ticket.blob_id].release(request)
             tracer = self.env.tracer
             if tracer.enabled:
@@ -376,6 +576,7 @@ class VersionManager:
         if not self.node.alive:
             raise NodeDownError(self.node, "version manager RPC")
         yield self.net.transfer(caller.name, self.node.name, CONTROL_MSG_MB)
+        self._fence()
         if self.op_cpu_s > 0:
             yield from self.node.compute(self.op_cpu_s)
 
@@ -404,6 +605,7 @@ class VersionManager:
             raise make_timeout_error(self.env, op, self.node.name, timeout_s)
         if not self.node.alive:
             raise NodeDownError(self.node, "version manager RPC")
+        self._fence()
         if self.op_cpu_s > 0:
             yield from self.node.compute(self.op_cpu_s)
 

@@ -15,6 +15,7 @@ from .s3_api import (
     S3AccessDenied,
     S3Error,
     S3Object,
+    ServiceUnavailable,
 )
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "BucketNotEmpty",
     "S3AccessDenied",
     "InvalidPart",
+    "ServiceUnavailable",
     "Permission",
     "BucketACL",
     "Bucket",

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..blobseer.client import BlobSeerClient
 from ..blobseer.deployment import BlobSeerDeployment
+from ..blobseer.errors import RpcTimeout
 from ..cluster.node import PhysicalNode
 from .s3_api import (
     Bucket,
@@ -32,6 +33,7 @@ from .s3_api import (
     Permission,
     S3AccessDenied,
     S3Object,
+    ServiceUnavailable,
     make_etag,
 )
 
@@ -63,11 +65,23 @@ class CumulusGateway:
         self.list_latency_s = list_latency_s
         #: Backend BlobSeer client the gateway proxies through — it runs
         #: *on* the gateway node (the gateway is the BlobSeer client).
+        #: Against a replicated control plane it goes through the
+        #: failover-aware handles, like any other client.
+        vmanager = deployment.vmanager
+        if deployment.vm_group is not None:
+            vmanager = deployment.vm_group.handle(
+                rng=deployment.rng.stream(f"vm-resolve:{gateway_id}")
+            )
+        pmanager = deployment.pmanager
+        if deployment.pm_group is not None:
+            pmanager = deployment.pm_group.handle(
+                rng=deployment.rng.stream(f"pm-resolve:{gateway_id}")
+            )
         self.backend = BlobSeerClient(
             node,
             gateway_id,
-            pmanager=deployment.pmanager,
-            vmanager=deployment.vmanager,
+            pmanager=pmanager,
+            vmanager=vmanager,
             metadata_providers=deployment.metadata_providers,
             sink=deployment.sink,
             access=deployment.access,
@@ -176,8 +190,15 @@ class CumulusGateway:
         yield self.net.transfer(user_node.name, self.node.name, size_mb, tag=user)
         # 2. gateway stores it as a fresh BLOB (padded to chunk multiple)
         padded = self._padded(size_mb)
-        blob_id = yield from self.backend.create_blob(self.chunk_size_mb)
-        result = yield from self.backend.append(blob_id, padded)
+        # Backend control-plane timeouts (version-manager or provider
+        # unreachable, e.g. mid-failover) surface to the S3 caller as a
+        # retriable 503 naming the failed operation, never as a leaked
+        # internal exception.
+        try:
+            blob_id = yield from self.backend.create_blob(self.chunk_size_mb)
+            result = yield from self.backend.append(blob_id, padded)
+        except RpcTimeout as exc:
+            raise ServiceUnavailable("put_object", str(exc)) from exc
         entry = S3Object(
             key=key,
             size_mb=size_mb,
@@ -207,9 +228,12 @@ class CumulusGateway:
         if self._cached_hit(bucket_name, key, entry):
             self.cached_gets += 1
         else:
-            yield from self.backend.read(
-                entry.blob_id, 0.0, padded, version=entry.version
-            )
+            try:
+                yield from self.backend.read(
+                    entry.blob_id, 0.0, padded, version=entry.version
+                )
+            except RpcTimeout as exc:
+                raise ServiceUnavailable("get_object", str(exc)) from exc
             if self.object_cache is not None:
                 self.object_cache.put(
                     (bucket_name, key), (entry.blob_id, entry.version), padded
@@ -282,12 +306,15 @@ class CumulusGateway:
         if not upload.parts:
             raise InvalidPart("no parts uploaded")
         bucket = self._bucket(upload.bucket)
-        blob_id = yield from self.backend.create_blob(self.chunk_size_mb)
-        version = 0
-        for part_number in sorted(upload.parts):
-            padded = self._padded(upload.parts[part_number])
-            result = yield from self.backend.append(blob_id, padded)
-            version = result.version
+        try:
+            blob_id = yield from self.backend.create_blob(self.chunk_size_mb)
+            version = 0
+            for part_number in sorted(upload.parts):
+                padded = self._padded(upload.parts[part_number])
+                result = yield from self.backend.append(blob_id, padded)
+                version = result.version
+        except RpcTimeout as exc:
+            raise ServiceUnavailable("complete_multipart", str(exc)) from exc
         size = upload.total_size_mb()
         entry = S3Object(
             key=upload.key,

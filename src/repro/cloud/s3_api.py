@@ -21,6 +21,7 @@ __all__ = [
     "BucketNotEmpty",
     "S3AccessDenied",
     "InvalidPart",
+    "ServiceUnavailable",
     "Permission",
     "BucketACL",
     "S3Object",
@@ -71,6 +72,28 @@ class S3AccessDenied(S3Error):
 
 class InvalidPart(S3Error):
     code = "InvalidPart"
+
+
+class ServiceUnavailable(S3Error):
+    """Retriable 503: a backend RPC timed out mid-operation.
+
+    S3 clients treat 503 (SlowDown/ServiceUnavailable) as retriable
+    with backoff; the gateway maps BlobSeer control-plane timeouts —
+    e.g. a version-manager failover in progress — onto it instead of
+    leaking internal exceptions to the S3 caller.
+    """
+
+    code = "ServiceUnavailable"
+    status = 503
+    retriable = True
+
+    def __init__(self, operation: str, cause: Optional[str] = None) -> None:
+        super().__init__(
+            f"{operation} temporarily unavailable"
+            + (f": {cause}" if cause else "")
+        )
+        self.operation = operation
+        self.cause = cause
 
 
 class Permission(enum.Flag):

@@ -55,6 +55,8 @@ class FaultInjector:
         #: Active partitions: id -> set of node names cut off from the rest.
         self._partitions: Dict[int, Set[str]] = {}
         self._partition_seq = itertools.count(1)
+        #: Declarative-schedule partition labels -> partition id.
+        self._labels: Dict[str, int] = {}
         #: Probabilistic message loss (0 = off); draws come from a
         #: dedicated sub-stream so enabling loss never perturbs the
         #: crash-schedule stream.
@@ -299,6 +301,103 @@ class FaultInjector:
                 * self._latency_factors.get(dst.name, 1.0)
             )
         return 1.0
+
+    # -- declarative schedules (plain dicts) ---------------------------------------
+    #: Event kinds :meth:`apply_schedule` understands.
+    SCHEDULE_KINDS = (
+        "crash", "recover", "partition", "heal", "degrade", "restore",
+        "message_loss",
+    )
+
+    def apply_schedule(self, events: Sequence[dict], resolve=None) -> int:
+        """Arm a declarative fault schedule given as plain dicts.
+
+        One format shared by the chaos harness, the benches and
+        hand-written tests — JSON-serializable, so schedules can live in
+        files or bench configs.  Each event is a dict with ``at``
+        (absolute sim time), ``kind`` (one of :data:`SCHEDULE_KINDS`)
+        and kind-specific fields::
+
+            {"at": 10.0, "kind": "crash", "node": "vm-node",
+             "recover_after": 20.0}                   # optional
+            {"at": 35.0, "kind": "recover", "node": "vm-node"}
+            {"at": 12.0, "kind": "partition", "nodes": ["provider-0-node"],
+             "heal_after": 8.0, "label": "rack-0"}    # both optional
+            {"at": 30.0, "kind": "heal", "label": "rack-0"}
+            {"at": 5.0, "kind": "degrade", "node": "provider-1-node",
+             "bandwidth_factor": 0.1, "latency_factor": 4.0,
+             "duration_s": 10.0}                      # gray NIC
+            {"at": 40.0, "kind": "restore", "node": "provider-1-node"}
+            {"at": 0.0, "kind": "message_loss", "rate": 0.02}
+
+        Node names pass through *resolve* (name -> PhysicalNode) **at
+        fire time**, so harnesses can register role aliases such as
+        ``"vm-primary"`` that track failovers; the default resolver is a
+        testbed lookup.  Returns the number of events armed.
+        """
+        if resolve is None:
+            resolve = self.testbed.node
+        armed = 0
+        for event in events:
+            kind = event.get("kind")
+            if kind not in self.SCHEDULE_KINDS:
+                raise ValueError(f"unknown fault-schedule kind {kind!r}")
+            self.env.process(
+                self._schedule_one(dict(event), resolve),
+                name=f"fault-sched-{kind}",
+            )
+            armed += 1
+        return armed
+
+    def _schedule_one(self, event: dict, resolve):
+        delay = float(event.get("at", 0.0)) - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        kind = event["kind"]
+        if kind == "crash":
+            node = resolve(event["node"])
+            crashed = self._do_crash(node)
+            if crashed and event.get("recover_after") is not None:
+                self.crash_recovery_later(node, float(event["recover_after"]))
+        elif kind == "recover":
+            node = resolve(event["node"])
+            self._do_recover(node, self._crash_epoch.get(node.name, 0))
+        elif kind == "partition":
+            nodes = [resolve(n) for n in event["nodes"]]
+            label = event.get("label")
+            pid = self.partition(
+                nodes, heal_after=event.get("heal_after"), label=label
+            )
+            if label is not None:
+                self._labels[label] = pid
+        elif kind == "heal":
+            pid = self._labels.pop(event["label"], None)
+            if pid is not None:
+                self.heal(pid, label=event["label"])
+        elif kind == "degrade":
+            self.degrade_nic(
+                resolve(event["node"]),
+                bandwidth_factor=float(event.get("bandwidth_factor", 0.1)),
+                latency_factor=float(event.get("latency_factor", 1.0)),
+                duration_s=event.get("duration_s"),
+            )
+        elif kind == "restore":
+            self.restore_nic(resolve(event["node"]))
+        elif kind == "message_loss":
+            self.set_message_loss(
+                float(event["rate"]), stream=event.get("stream", "faults.loss")
+            )
+
+    def export_log(self) -> List[dict]:
+        """The fault log as schedule-shaped plain dicts.
+
+        Crash/recover entries round-trip through :meth:`apply_schedule`
+        (replaying one run's faults as the next run's schedule); the
+        network-level entries are markers of what fired, for reports.
+        """
+        return [
+            {"at": e.time, "kind": e.kind, "node": e.node} for e in self.log
+        ]
 
     # -- reporting ----------------------------------------------------------------
     def crash_count(self) -> int:

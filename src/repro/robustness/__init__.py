@@ -1,20 +1,39 @@
-"""Robustness layer: retry policies and failure detection.
+"""Robustness layer: retries, failure detection, replication, chaos.
 
 Failure knowledge in the base substrate is an oracle (``node.alive`` is
 readable instantly, for free).  This package turns detection into a
-measurable, non-zero phenomenon:
+measurable, non-zero phenomenon — and then builds survival on top:
 
 - :class:`RetryPolicy` — exponential backoff with deterministic jitter,
   attempt caps and an overall deadline, for RPC call sites;
 - :class:`HeartbeatFailureDetector` — a simulated process pinging nodes
   over the flow network, maintaining per-node alive/suspected/dead state
-  and detection-latency statistics.
+  and detection-latency statistics;
+- :mod:`~repro.robustness.replication` — a replicated version manager
+  (quorum-committed log, epoch-fenced failover) and a warm-standby
+  provider manager, opt-in via ``BlobSeerConfig.vm_replicas`` /
+  ``pm_standby``;
+- :mod:`~repro.robustness.chaos` — a soak harness that runs declarative
+  fault schedules against a deployment while checking safety invariants
+  (durable acked writes, gap-free history, single active primary,
+  read-your-writes, replica convergence).
 
-Wire both into a deployment with
+Wire detection into a deployment with
 :meth:`repro.blobseer.deployment.BlobSeerDeployment.attach_failure_detector`.
 """
 
+from .chaos import ChaosHarness, InvariantViolation, steady_append_load
 from .detector import ALIVE, DEAD, SUSPECTED, HeartbeatFailureDetector, NodeView
+from .replication import (
+    FAILOVER_ERRORS,
+    FailoverEvent,
+    LogRecord,
+    PrimaryHandle,
+    ProviderManagerHandle,
+    ReplicatedVersionManager,
+    VMReplica,
+    WarmStandbyProviderManager,
+)
 from .retry import RetryPolicy
 
 __all__ = [
@@ -24,4 +43,15 @@ __all__ = [
     "ALIVE",
     "SUSPECTED",
     "DEAD",
+    "LogRecord",
+    "FailoverEvent",
+    "VMReplica",
+    "ReplicatedVersionManager",
+    "PrimaryHandle",
+    "WarmStandbyProviderManager",
+    "ProviderManagerHandle",
+    "FAILOVER_ERRORS",
+    "ChaosHarness",
+    "InvariantViolation",
+    "steady_append_load",
 ]

@@ -398,3 +398,52 @@ def test_concurrent_puts_share_backend():
     keys = run(dep, scenario(dep.env))
     assert keys == ["k0", "k1", "k2", "k3"]
     assert gw.puts == 4
+
+
+def test_put_translates_rpc_timeout_to_service_unavailable():
+    """A control-plane timeout surfaces as a retriable 503, not a leak."""
+    from repro.blobseer import RpcTimeout
+    from repro.cloud import ServiceUnavailable
+
+    dep, gw = make_gateway()
+    dep.net.blackhole_missing = True
+    gw.backend.rpc_timeout_s = 2.0
+    alice = add_user(dep, "alice")
+
+    def scenario(env):
+        yield from gw.create_bucket("alice", "data")
+        dep.actor_nodes["vm"].fail()
+        try:
+            yield from gw.put_object("alice", alice, "data", "k", 64.0)
+        except ServiceUnavailable as exc:
+            return exc
+
+    exc = run(dep, scenario(dep.env))
+    assert isinstance(exc, ServiceUnavailable)
+    assert exc.code == "ServiceUnavailable" and exc.status == 503
+    assert exc.retriable
+    assert exc.operation == "put_object"  # names the failed op
+    assert isinstance(exc.__cause__, RpcTimeout)
+
+
+def test_get_translates_rpc_timeout_to_service_unavailable():
+    from repro.cloud import ServiceUnavailable
+
+    dep, gw = make_gateway()
+    dep.net.blackhole_missing = True
+    gw.backend.rpc_timeout_s = 2.0
+    alice = add_user(dep, "alice")
+
+    def scenario(env):
+        yield from gw.create_bucket("alice", "data")
+        yield from gw.put_object("alice", alice, "data", "k", 64.0)
+        dep.actor_nodes["vm"].fail()
+        try:
+            yield from gw.get_object("alice", alice, "data", "k")
+        except ServiceUnavailable as exc:
+            return exc
+
+    exc = run(dep, scenario(dep.env))
+    assert isinstance(exc, ServiceUnavailable)
+    assert exc.operation == "get_object"
+    assert exc.retriable

@@ -179,3 +179,59 @@ def test_fault_schedule_and_detection_are_seed_stable():
 
     log_c, _lat_c = _churn_run(seed=22)
     assert log_c != log_a  # different seed -> different schedule
+
+
+# ------------------------------------------------------------------ flapping
+def test_flapping_provider_never_triggers_repair():
+    """alive -> suspected -> alive oscillation must not start repairs.
+
+    A short network glitch raises suspicion (one missed ping) but heals
+    before ``confirm_misses`` lands; the ReplicationManager gates repair
+    on *confirmed* deaths, so a flapping provider costs zero repair
+    traffic — and the detector's latency stats stay finite (no
+    confirmation, no latency sample).
+    """
+    import math
+
+    from repro.adaptation import ReplicationManager
+
+    dep = make_deployment(replication=2)
+    metrics = MetricsRegistry(dep.env)
+    dep.env.metrics = metrics
+    detector = dep.attach_failure_detector(
+        period_s=1.0, timeout_s=3.0, confirm_misses=3,
+    )
+    client = dep.new_client("c1")
+
+    def setup():
+        blob_id = yield from client.create_blob(8.0)
+        yield from client.append(blob_id, 32.0)
+
+    process = dep.env.process(setup())
+    dep.run(until=process)
+
+    manager = ReplicationManager(dep, target_replication=2, interval_s=2.0,
+                                 detector=detector)
+    dep.env.process(manager.run(dep.env))
+
+    victim = next(p for p in dep.providers.values() if p.chunks)
+    injector = FaultInjector(dep.testbed)
+    # Two 4-second glitches: pings sent into the cut miss after their
+    # 3s timeout (-> suspected), but the first post-heal pong lands
+    # before the third miss, so the view snaps back to alive.
+    for _ in range(2):
+        injector.partition([victim.node], heal_after=4.0)
+        dep.run(until=dep.now + 15.0)
+
+    name = victim.node.name
+    assert metrics.counter("detector.suspicions").value >= 2  # it flapped
+    assert metrics.counter("detector.confirmations").value == 0
+    assert detector.thinks_alive(name)
+    assert not detector.confirmed_dead(name)
+    # No confirmation -> no repair, no repair traffic.
+    assert manager.repairs_done == 0
+    assert manager.repair_traffic_mb == 0.0
+    stats = detector.stats()
+    assert stats["dead"] == 0 and stats["detections"] == 0
+    for key in ("mean_detection_latency_s", "max_detection_latency_s"):
+        assert stats[key] is None or math.isfinite(stats[key])

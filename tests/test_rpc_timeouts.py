@@ -400,3 +400,31 @@ def test_client_rpc_timeout_surfaces_as_op_failure():
     dep.run(until=env.now + 30.0)
     assert isinstance(outcome["error"], RpcTimeout)
     assert client.history[-1].ok is False
+
+
+def test_retry_gives_up_instead_of_sleeping_past_deadline():
+    """Backoff that would overshoot the deadline raises now, not later.
+
+    Regression: with a long backoff and a near-exhausted deadline the
+    old code slept the full backoff, woke past the deadline, burned one
+    more doomed attempt and raised late.  The caller must get the error
+    at the moment the budget is provably gone.
+    """
+    testbed = make_testbed()
+    env = testbed.env
+    policy = RetryPolicy(max_attempts=10, base_delay_s=5.0, jitter=0.0,
+                         deadline_s=3.0)
+    attempts = []
+
+    def attempt():
+        attempts.append(env.now)
+        yield env.timeout(1.0)
+        raise RpcTimeout("op", "callee", 1.0)
+
+    outcome = drive(env, with_retries(env, attempt, retry=policy))
+    env.run(until=30.0)
+    assert isinstance(outcome["error"], RpcTimeout)
+    # Failed at t=1.0; backoff (5s) would sleep past the 3s deadline,
+    # so the error surfaces immediately — no sleep, no extra attempt.
+    assert outcome["at"] == pytest.approx(1.0)
+    assert attempts == [0.0]
