@@ -26,12 +26,17 @@ from repro.adaptation import CacheTuner
 from repro.blobseer import BlobSeerConfig, BlobSeerDeployment
 from repro.cluster import TestbedConfig
 from repro.introspection import (
+    AdaptationScorecard,
     Dashboard,
+    DecisionJournal,
     HealthMonitor,
     IntrospectionLayer,
     QueryEngine,
     RollupAdvisor,
+    SignalSpec,
     SLORule,
+    adaptation_scorecard,
+    journal_tail,
 )
 from repro.monitoring import MonitoringConfig, MonitoringStack
 from repro.workloads import CorrectReader, CorrectWriter
@@ -81,10 +86,17 @@ def main(trace_path: str = DEFAULT_TRACE_PATH, until: float = 150.0) -> None:
     )
     health.start(env)
 
+    # Provenance journal: every decision any engine executes lands here
+    # with its evidence, health inbox, trace context, and a post-decision
+    # effect-attribution window against the watched series.
+    journal = DecisionJournal(env, metrics=tele.metrics, effect_window_s=20.0)
+    journal.watch("rollup-advisor", ["client.throughput_mbps"])
+
     # Dry-run cache tuner = cache-stats probe: it publishes the
     # cache.<name>.* series the query engine rolls up, without resizing.
     tuner = CacheTuner(engine, caches=deployment.caches,
                        interval_s=10.0, dry_run=True)
+    tuner.attach_journal(journal)
     env.process(tuner.run(env), name="cache-tuner")
 
     # Rollup advisor: watches the engine's query log and materializes
@@ -92,6 +104,7 @@ def main(trace_path: str = DEFAULT_TRACE_PATH, until: float = 150.0) -> None:
     # queries stop re-scanning raw series.
     advisor = RollupAdvisor(engine, interval_s=15.0, min_scans=2,
                             min_points_per_scan=8.0)
+    advisor.attach_journal(journal)
     env.process(advisor.run(env), name="rollup-advisor")
 
     writers = [
@@ -115,10 +128,17 @@ def main(trace_path: str = DEFAULT_TRACE_PATH, until: float = 150.0) -> None:
     env.process(reader_when_ready(env))
 
     # Live terminal refresh: one compact status line per interval,
-    # rendered from the sliding-window query engine.
+    # rendered from the sliding-window query engine, plus any journal
+    # entries recorded since the previous refresh (the live tail).
     def live_refresh(env, interval_s=15.0):
+        seen = 0
         while True:
             yield env.timeout(interval_s)
+            nonlocal_total = journal.total
+            if nonlocal_total > seen:
+                for entry in journal.tail(nonlocal_total - seen):
+                    print(f"  journal> {entry}")
+                seen = nonlocal_total
             tput = engine.window_stat("client.throughput_mbps", "mean")
             rollup = engine.site_rollup()
             data_rate = sum(r.mb_per_s for r in rollup.values())
@@ -192,10 +212,23 @@ def main(trace_path: str = DEFAULT_TRACE_PATH, until: float = 150.0) -> None:
     else:
         print("(no SLO violations or anomalies)")
 
-    tele.write_chrome_trace(trace_path)
+    # Provenance: the journal tail and the quality-of-adaptation scorecard.
+    print()
+    print(journal_tail(journal, n=10))
+    score = AdaptationScorecard(
+        journal=journal,
+        metrics=tele.metrics,
+        signals=[SignalSpec("client.throughput_mbps", min_value=20.0,
+                            hold_s=10.0, label="throughput")],
+    ).compute(t1=env.now)
+    print()
+    print(adaptation_scorecard(score))
+
+    tele.write_chrome_trace(trace_path, journal=journal)
     print(f"\ntelemetry: {len(tele.tracer.spans)} spans on "
           f"{len(tele.tracer.tracks())} tracks -> {trace_path} "
-          f"(open in https://ui.perfetto.dev)")
+          f"(open in https://ui.perfetto.dev; adaptation:* tracks carry "
+          f"the journaled decisions and their effect arrows)")
 
 
 if __name__ == "__main__":

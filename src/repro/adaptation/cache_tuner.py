@@ -142,6 +142,12 @@ class CacheTuner(ControlLoop):
             signals = self._signals(name)
             if signals is None:
                 continue
+            # Provenance: the windowed stats this plan is based on.
+            self.note(**{
+                f"{name}.evictions_per_s": round(signals["evict_rate"], 6),
+                f"{name}.lookups_per_s": round(signals["lookup_rate"], 6),
+                f"{name}.hit_rate": round(signals["hit_rate"], 6),
+            })
             busy = signals["lookup_rate"] >= self.idle_lookup_rate
             thrashing = busy and signals["evict_rate"] > self.evict_rate_threshold
             if thrashing:

@@ -8,6 +8,7 @@ are logged so benches can report *when* and *why* the system adapted.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -39,14 +40,44 @@ class ControlLoop:
     triggers.  A ``critical`` health event also overrides the cooldown —
     an engine holding off after a routine action must still answer an
     SLO breach immediately.
+
+    Provenance: :attr:`decisions` is a **bounded** window — the newest
+    ``max_decisions`` survive, :attr:`decisions_total` counts all-time —
+    and each executed step resets :attr:`evidence`, a dict subclasses
+    fill with the windowed stats they consulted while planning.  With a
+    :class:`~repro.introspection.provenance.DecisionJournal` attached
+    (:meth:`attach_journal`), every decision is journaled together with
+    that evidence, the health inbox, the active trace context and the
+    planner's wall-clock latency.
+
+    With ``latency_metrics=True`` (and a metrics registry on the
+    environment) each executed step also emits
+    ``adaptation.<engine>.decision_latency`` (histogram, wall seconds)
+    and an ``adaptation.<engine>.step_duration_s`` gauge so slow
+    planners are visible in metrics.  Off by default: wall-clock values
+    differ run to run, and the default must keep metric snapshots
+    byte-identical per seed.
     """
 
     name = "control-loop"
 
-    def __init__(self, interval_s: float = 5.0, cooldown_s: float = 0.0) -> None:
+    def __init__(
+        self,
+        interval_s: float = 5.0,
+        cooldown_s: float = 0.0,
+        max_decisions: int = 2048,
+        latency_metrics: bool = False,
+    ) -> None:
+        if max_decisions < 1:
+            raise ValueError("max_decisions must be >= 1")
         self.interval_s = interval_s
         self.cooldown_s = cooldown_s
+        #: Retained decision window (plain list: slicing keeps working).
         self.decisions: List[AdaptationDecision] = []
+        self.max_decisions = max_decisions
+        #: All-time executed-decision count (survives ring eviction).
+        self.decisions_total = 0
+        self.decisions_dropped = 0
         self._cooldown_until = -float("inf")
         self.enabled = True
         self.steps = 0
@@ -55,12 +86,29 @@ class ControlLoop:
         self._health_pos = 0
         #: Health events that arrived since the previous executed step.
         self.health_inbox: List[Any] = []
+        #: Windowed stats consumed during the current/last executed step;
+        #: reset before each step, filled by subclasses via :meth:`note`.
+        self.evidence: Dict[str, Any] = {}
+        #: Optional DecisionJournal recording decisions with provenance.
+        self.journal = None
+        self.latency_metrics = latency_metrics
+        #: Wall-clock seconds the most recent executed step took.
+        self.last_step_wall_s: Optional[float] = None
 
     def attach_health(self, monitor) -> "ControlLoop":
         """Feed a :class:`HealthMonitor`'s events into this loop."""
         self.health = monitor
         self._health_pos = len(monitor.events)
         return self
+
+    def attach_journal(self, journal) -> "ControlLoop":
+        """Record every decision (with evidence) into *journal*."""
+        self.journal = journal
+        return self
+
+    def note(self, **evidence: Any) -> None:
+        """Stash planning evidence for provenance (cheap, unconditional)."""
+        self.evidence.update(evidence)
 
     def _pending_health(self) -> List[Any]:
         if self.health is None:
@@ -94,12 +142,29 @@ class ControlLoop:
                     continue
             self.steps += 1
             self._drain_health()
+            self.evidence = {}
+            started = _time.perf_counter()
             decisions = self.step(env.now)
+            wall_s = _time.perf_counter() - started
+            self.last_step_wall_s = wall_s
+            metrics = env.metrics
+            if self.latency_metrics and metrics is not None:
+                metrics.histogram(
+                    f"adaptation.{self.name}.decision_latency"
+                ).observe(wall_s)
+                metrics.gauge(
+                    f"adaptation.{self.name}.step_duration_s"
+                ).set(wall_s)
             if decisions:
                 self.decisions.extend(decisions)
+                self.decisions_total += len(decisions)
+                if len(self.decisions) > self.max_decisions:
+                    overflow = len(self.decisions) - self.max_decisions
+                    del self.decisions[:overflow]
+                    self.decisions_dropped += overflow
                 self._cooldown_until = env.now + self.cooldown_s
                 tracer = env.tracer
-                metrics = env.metrics
+                journal = self.journal
                 for decision in decisions:
                     if tracer.enabled:
                         tracer.instant(
@@ -112,6 +177,14 @@ class ControlLoop:
                         metrics.counter(
                             f"adaptation.{decision.action}"
                         ).inc()
+                    if journal is not None:
+                        journal.record_decision(
+                            decision,
+                            evidence=self.evidence,
+                            health=self.health_inbox,
+                            latency_s=wall_s,
+                        )
 
     def decisions_of(self, action: str) -> List[AdaptationDecision]:
+        """Decisions with *action* in the retained window."""
         return [d for d in self.decisions if d.action == action]

@@ -126,6 +126,10 @@ class ElasticityController(ControlLoop):
             if smoothed_fill is not None:
                 fill = smoothed_fill
         self.pool_timeline.append((now, pool, load))
+        # Provenance: the (possibly smoothed) signals this plan is based on.
+        self.note(pool_size=pool, pool_load=round(load, 6),
+                  pool_fill=round(fill, 6),
+                  smoothed=self.query is not None)
         decisions: List[AdaptationDecision] = []
 
         if (load > self.high_load or fill > self.high_fill) and pool < self.max_providers:

@@ -124,7 +124,9 @@ class ReplicationManager(ControlLoop):
     def step(self, now: float) -> List[AdaptationDecision]:
         decisions: List[AdaptationDecision] = []
         repairs = 0
-        for key, descriptor in self.chunk_directory().items():
+        directory = self.chunk_directory()
+        under_replicated = hot = 0
+        for key, descriptor in directory.items():
             if key in self._in_flight:
                 continue
             replicas = self.live_replicas(descriptor)
@@ -133,6 +135,10 @@ class ReplicationManager(ControlLoop):
                     self.lost_chunks.append(key)
                 continue
             want = self._desired_degree(descriptor, now)
+            if len(replicas) < self.target_replication:
+                under_replicated += 1
+            if want > self.target_replication:
+                hot += 1
             if len(replicas) < want and repairs < self.max_repairs_per_step:
                 target = self._pick_target(descriptor)
                 if target is None:
@@ -156,6 +162,10 @@ class ReplicationManager(ControlLoop):
                     now, self.name, "demote",
                     {"chunk": key, "from": victim.provider_id},
                 ))
+        # Provenance: the sweep's view of the directory this step.
+        self.note(chunks=len(directory), under_replicated=under_replicated,
+                  hot_chunks=hot, lost_chunks=len(self.lost_chunks),
+                  in_flight=len(self._in_flight))
         return decisions
 
     def _desired_degree(self, descriptor: ChunkDescriptor, now: float) -> int:

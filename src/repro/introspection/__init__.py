@@ -3,9 +3,26 @@
 from .advisor import RollupAdvisor
 from .aggregator import BlobAccessStats, ClientActivity, IntrospectionLayer
 from .health import EwmaZScore, HealthEvent, HealthMonitor, SLORule
+from .provenance import DecisionJournal, JournalEntry
+from .quality import (
+    AdaptationScorecard,
+    Disturbance,
+    SignalSpec,
+    overshoot,
+    settling_time,
+    slo_violation_seconds,
+)
 from .query import QueryEngine, ShapeStat, WindowRollup
 from .rollup import EventRollup, ExactSum, RollupStore, SeriesRollup
-from .visualization import Dashboard, bar_chart, series_to_csv, sparkline, table
+from .visualization import (
+    Dashboard,
+    adaptation_scorecard,
+    bar_chart,
+    journal_tail,
+    series_to_csv,
+    sparkline,
+    table,
+)
 
 __all__ = [
     "IntrospectionLayer",
@@ -19,6 +36,14 @@ __all__ = [
     "EventRollup",
     "ExactSum",
     "RollupAdvisor",
+    "DecisionJournal",
+    "JournalEntry",
+    "AdaptationScorecard",
+    "SignalSpec",
+    "Disturbance",
+    "settling_time",
+    "overshoot",
+    "slo_violation_seconds",
     "HealthEvent",
     "HealthMonitor",
     "SLORule",
@@ -28,4 +53,6 @@ __all__ = [
     "bar_chart",
     "table",
     "series_to_csv",
+    "journal_tail",
+    "adaptation_scorecard",
 ]

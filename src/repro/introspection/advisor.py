@@ -148,6 +148,9 @@ class RollupAdvisor(ControlLoop):
                 continue
             hot.append((points, scans, shape))
         hot.sort(key=lambda item: (-item[0], item[2]))
+        # Provenance: the query-log deltas this plan is based on.
+        self.note(shapes_scanned=len(deltas), hot_shapes=len(hot),
+                  bytes_used=store.bytes_used() if store is not None else 0)
 
         created = 0
         for points, scans, shape in hot:

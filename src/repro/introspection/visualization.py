@@ -23,6 +23,8 @@ __all__ = [
     "table",
     "series_to_csv",
     "Dashboard",
+    "journal_tail",
+    "adaptation_scorecard",
 ]
 
 _SPARK_CHARS = "▁▂▃▄▅▆▇█"
@@ -86,6 +88,87 @@ def series_to_csv(series: Sequence[Tuple[float, float]], header: str = "time,val
     for t, v in series:
         buffer.write(f"{t:.3f},{v:.6f}\n")
     return buffer.getvalue()
+
+
+def journal_tail(journal, n: int = 8) -> str:
+    """The most recent *n* provenance-journal entries, one per line."""
+    entries = journal.tail(n)
+    if not entries:
+        return "== Adaptation journal ==\n(no decisions journaled)"
+    lines = [f"== Adaptation journal (last {len(entries)} of "
+             f"{journal.total}) =="]
+    lines.extend(str(entry) for entry in entries)
+    return "\n".join(lines)
+
+
+def _fmt(value, digits: int = 1, unit: str = "") -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}{unit}"
+
+
+def adaptation_scorecard(score: dict, title: str = "Adaptation scorecard") -> str:
+    """Terminal panel for an :class:`AdaptationScorecard` ``compute()`` dict.
+
+    One row per watched signal (SLO-violation seconds + per-disturbance
+    settling time and overshoot), one row per engine (decision effort),
+    and the fleet-wide summary line the SEAMS metrics boil down to.
+    """
+    panels: List[str] = []
+
+    signal_rows = []
+    for label in sorted(score.get("signals", {})):
+        entry = score["signals"][label]
+        if entry["disturbances"]:
+            for dlabel in sorted(entry["disturbances"]):
+                d = entry["disturbances"][dlabel]
+                signal_rows.append((
+                    label, dlabel,
+                    _fmt(entry["slo_violation_s"], 1, "s"),
+                    _fmt(d["settling_s"], 1, "s"),
+                    _fmt(d["overshoot"], 3),
+                ))
+        else:
+            signal_rows.append((
+                label, "-", _fmt(entry["slo_violation_s"], 1, "s"), "-", "-",
+            ))
+    if signal_rows:
+        panels.append(table(
+            ["signal", "disturbance", "slo_violation", "settling", "overshoot"],
+            signal_rows,
+        ))
+
+    engine_rows = []
+    for engine in sorted(score.get("engines", {})):
+        entry = score["engines"][engine]
+        engine_rows.append((
+            engine,
+            entry["decisions"],
+            _fmt(entry["churn_per_min"], 2),
+            entry["oscillations"],
+            _fmt(entry["mean_time_to_effect_s"], 1, "s"),
+            (_fmt(entry["mean_latency_s"] * 1e3, 3, "ms")
+             if entry["mean_latency_s"] is not None else "-"),
+        ))
+    if engine_rows:
+        panels.append(table(
+            ["engine", "decisions", "churn/min", "oscillations",
+             "time_to_effect", "plan_latency"],
+            engine_rows,
+        ))
+
+    fleet = score.get("fleet", {})
+    if fleet:
+        panels.append(
+            f"fleet: slo_violation={_fmt(fleet.get('slo_violation_s'), 1, 's')}"
+            f"  max_settling={_fmt(fleet.get('max_settling_s'), 1, 's')}"
+            f"  max_overshoot={_fmt(fleet.get('max_overshoot'), 3)}"
+            f"  decisions={fleet.get('decisions', 0)}"
+            f"  oscillations={fleet.get('oscillations', 0)}"
+        )
+
+    body = "\n\n".join(panels) if panels else "(no data)"
+    return f"== {title} ==\n{body}"
 
 
 class Dashboard:

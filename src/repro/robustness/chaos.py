@@ -99,6 +99,18 @@ class ChaosHarness:
         #: Checks skipped because no replica was serving at that instant
         #: (mid-failover); the final post-settle check never skips.
         self.checks_deferred = 0
+        #: Optional DecisionJournal: invariant violations (and the final
+        #: soak summary) land next to the adaptation decisions and
+        #: failovers they interleave with.
+        self.journal = None
+
+    def attach_journal(self, journal) -> "ChaosHarness":
+        """Record every invariant violation + soak summary into *journal*."""
+        self.journal = journal
+        if (self.deployment.vm_group is not None
+                and self.deployment.vm_group.journal is None):
+            self.deployment.vm_group.attach_journal(journal)
+        return self
 
     # -- fault-target resolution ------------------------------------------------
     def resolve_target(self, name: str):
@@ -135,6 +147,12 @@ class ChaosHarness:
             self.deployment.run(until=until + self.settle_s)
         self.check_invariants(clients, final=True)
         self.check_convergence()
+        if self.journal is not None:
+            self.journal.record_invariant(
+                "soak_summary", ok=not self.violations,
+                detail={"checks_run": self.checks_run,
+                        "checks_deferred": self.checks_deferred,
+                        "violations": len(self.violations)})
         return self.report()
 
     # -- authority lookup ---------------------------------------------------------
@@ -306,6 +324,9 @@ class ChaosHarness:
         self.violations.append(
             InvariantViolation(self.env.now, invariant, detail)
         )
+        if self.journal is not None:
+            self.journal.record_invariant(invariant, ok=False,
+                                          detail={"detail": detail})
 
     def assert_clean(self) -> None:
         if self.violations:

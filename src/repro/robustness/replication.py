@@ -496,16 +496,17 @@ class VMReplica:
         self.vm.passive = False
         self.known_primary = self.name
         self._peer_acked = {}
-        self.group.failovers.append(
-            FailoverEvent(
-                epoch=target,
-                winner=self.name,
-                old_primary=old_primary,
-                crashed_at=view.crashed_at if view is not None else None,
-                confirmed_at=view.confirmed_at if view is not None else None,
-                promoted_at=self.env.now,
-            )
+        failover = FailoverEvent(
+            epoch=target,
+            winner=self.name,
+            old_primary=old_primary,
+            crashed_at=view.crashed_at if view is not None else None,
+            confirmed_at=view.confirmed_at if view is not None else None,
+            promoted_at=self.env.now,
         )
+        self.group.failovers.append(failover)
+        if self.group.journal is not None:
+            self.group.journal.record_failover(failover)
         metrics = self.env.metrics
         if metrics is not None:
             metrics.counter("replication.failovers").inc()
@@ -657,8 +658,16 @@ class ReplicatedVersionManager:
         self.names = [vm.node.name for vm in vmanagers]
         self.replicas = [VMReplica(self, i, vm) for i, vm in enumerate(vmanagers)]
         self.failovers: List[FailoverEvent] = []
+        #: Optional DecisionJournal: every completed failover is recorded
+        #: alongside the adaptation engines' decisions.
+        self.journal = None
         for replica in self.replicas:
             replica.start()
+
+    def attach_journal(self, journal) -> "ReplicatedVersionManager":
+        """Record every :class:`FailoverEvent` into *journal*."""
+        self.journal = journal
+        return self
 
     @property
     def quorum(self) -> int:

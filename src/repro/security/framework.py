@@ -104,6 +104,34 @@ class PolicyManagement:
             total += (out_rate + in_rate) / capacity
         return total / len(providers)
 
+    def attach_journal(self, journal) -> "PolicyManagement":
+        """Record every enforced violation into a provenance journal.
+
+        The self-protection loop's "decisions" are policy violations
+        firing: each is journaled with the detection evidence (policy,
+        occurrence, trust score) so it lands on the same timeline as the
+        other engines' adaptations.  Registered as an extra violation
+        listener — enforcement is unaffected.
+        """
+        from ..adaptation.controller import AdaptationDecision
+
+        def _record(violation) -> None:
+            evidence = {
+                "policy": violation.policy.name,
+                "occurrence": violation.occurrence,
+            }
+            if self.trust is not None:
+                evidence["trust"] = round(
+                    self.trust.trust_of(violation.client_id, violation.time), 6)
+            journal.record_decision(AdaptationDecision(
+                violation.time, "security", "sanction",
+                {"client": violation.client_id,
+                 "policy": violation.policy.name},
+            ), evidence=evidence)
+
+        self.engine.on_violation(_record)
+        return self
+
     def start(self) -> None:
         """Launch the history-pull and detection-scan loops."""
         if self._started:

@@ -25,11 +25,13 @@ from typing import Optional
 
 from .critical_path import CriticalPathReport, PathStep, PhaseStat, analyze, trace_of
 from .export import (
+    adaptation_timeline_json,
     chrome_trace,
     chrome_trace_json,
     metrics_to_csv,
     metrics_to_json,
     summary,
+    write_adaptation_timeline,
     write_chrome_trace,
     write_metrics,
 )
@@ -59,6 +61,8 @@ __all__ = [
     "chrome_trace",
     "chrome_trace_json",
     "write_chrome_trace",
+    "adaptation_timeline_json",
+    "write_adaptation_timeline",
     "metrics_to_json",
     "metrics_to_csv",
     "write_metrics",
@@ -85,11 +89,11 @@ class Telemetry:
         self.env.profiler = None
 
     # -- export conveniences ---------------------------------------------------
-    def write_chrome_trace(self, path: str) -> str:
-        return write_chrome_trace(self.tracer, path)
+    def write_chrome_trace(self, path: str, journal=None) -> str:
+        return write_chrome_trace(self.tracer, path, journal=journal)
 
-    def chrome_trace_json(self) -> str:
-        return chrome_trace_json(self.tracer)
+    def chrome_trace_json(self, journal=None) -> str:
+        return chrome_trace_json(self.tracer, journal=journal)
 
     def write_metrics(self, json_path: str, csv_path: Optional[str] = None) -> str:
         return write_metrics(self.metrics, json_path, csv_path)

@@ -21,6 +21,8 @@ __all__ = [
     "chrome_trace",
     "chrome_trace_json",
     "write_chrome_trace",
+    "adaptation_timeline_json",
+    "write_adaptation_timeline",
     "metrics_to_json",
     "metrics_to_csv",
     "write_metrics",
@@ -31,6 +33,10 @@ _PID = 1
 
 #: Chrome trace timestamps are microseconds.
 _US = 1e6
+
+#: Flow-event ids for decision→effect arrows live far above span ids so
+#: the two id spaces never collide in one trace file.
+_JOURNAL_FLOW_BASE = 1_000_000_000
 
 
 def _clean_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
@@ -44,7 +50,11 @@ def _clean_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
     return out
 
 
-def chrome_trace(tracer: Tracer, flow_arrows: bool = True) -> Dict[str, Any]:
+def chrome_trace(
+    tracer: Tracer,
+    flow_arrows: bool = True,
+    journal=None,
+) -> Dict[str, Any]:
     """Build the trace-event dict for *tracer*'s spans and instants.
 
     With *flow_arrows* (the default), every parent→child span edge that
@@ -52,9 +62,26 @@ def chrome_trace(tracer: Tracer, flow_arrows: bool = True) -> Dict[str, Any]:
     manager node — also emits a Chrome flow-event pair (``ph: "s"`` on
     the parent's track, ``ph: "f"`` on the child's), so Perfetto draws
     the causal arrows of each distributed trace across processes.
+
+    With a :class:`~repro.introspection.provenance.DecisionJournal`
+    passed as *journal*, each engine gets an ``adaptation:<engine>``
+    track carrying its journaled decisions as instants; decisions with a
+    resolved effect window additionally draw a decision→effect flow
+    arrow from the decision instant to the close of its attribution
+    window, so the trace shows not just *that* the system adapted but
+    *when the adaptation landed*.
     """
     tracks = tracer.tracks()
     tids = {track: i + 1 for i, track in enumerate(tracks)}
+    journal_entries = []
+    if journal is not None:
+        journal.resolve_effects()
+        journal_entries = list(journal.entries)
+        for engine in journal.engines():
+            track = f"adaptation:{engine}"
+            if track not in tids:
+                tids[track] = len(tids) + 1
+                tracks = list(tracks) + [track]
 
     events: List[Dict[str, Any]] = [
         {
@@ -123,21 +150,104 @@ def chrome_trace(tracer: Tracer, flow_arrows: bool = True) -> Dict[str, Any]:
             "args": _clean_attrs(mark.attrs),
         })
 
+    for entry in journal_entries:
+        tid = tids[f"adaptation:{entry.engine}"]
+        ts = round(entry.time * _US, 3)
+        args: Dict[str, Any] = {"seq": entry.seq, "kind": entry.kind}
+        args.update(_clean_attrs(entry.detail))
+        if entry.trace_id:
+            args["trace_id"] = entry.trace_id
+            args["src_span_id"] = entry.span_id
+        events.append({
+            "ph": "i",
+            "s": "t",
+            "pid": _PID,
+            "tid": tid,
+            "name": entry.action,
+            "cat": f"adaptation.{entry.kind}",
+            "ts": ts,
+            "args": args,
+        })
+        if not flow_arrows or entry.effect_at is None or not entry.effect:
+            continue
+        deltas = {
+            name: round(vals["delta"], 6)
+            for name, vals in sorted(entry.effect.items())
+            if vals.get("delta") is not None
+        }
+        if not deltas:
+            continue
+        effect_ts = round(entry.effect_at * _US, 3)
+        events.append({
+            "ph": "i",
+            "s": "t",
+            "pid": _PID,
+            "tid": tid,
+            "name": f"effect:{entry.action}",
+            "cat": "adaptation.effect",
+            "ts": effect_ts,
+            "args": {"seq": entry.seq, **deltas},
+        })
+        common = {"pid": _PID, "tid": tid, "name": "decision→effect",
+                  "cat": "adaptation.flow",
+                  "id": _JOURNAL_FLOW_BASE + entry.seq}
+        events.append({"ph": "s", "ts": ts, **common})
+        events.append({"ph": "f", "bp": "e", "ts": effect_ts, **common})
+
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def chrome_trace_json(tracer: Tracer, flow_arrows: bool = True) -> str:
+def chrome_trace_json(
+    tracer: Tracer, flow_arrows: bool = True, journal=None,
+) -> str:
     """Deterministic serialization (sorted keys, fixed separators)."""
     return json.dumps(
-        chrome_trace(tracer, flow_arrows=flow_arrows),
+        chrome_trace(tracer, flow_arrows=flow_arrows, journal=journal),
         sort_keys=True,
         separators=(",", ":"),
     )
 
 
-def write_chrome_trace(tracer: Tracer, path: str) -> str:
+def write_chrome_trace(tracer: Tracer, path: str, journal=None) -> str:
     with open(path, "w") as handle:
-        handle.write(chrome_trace_json(tracer))
+        handle.write(chrome_trace_json(tracer, journal=journal))
+        handle.write("\n")
+    return path
+
+
+# -- adaptation timeline ------------------------------------------------------
+def adaptation_timeline_json(
+    journal,
+    score: Optional[Dict[str, Any]] = None,
+    indent: Optional[int] = None,
+) -> str:
+    """The journal (and optionally its scorecard) as deterministic JSON.
+
+    *score* is the dict an
+    :class:`~repro.introspection.quality.AdaptationScorecard` computes;
+    embedding it makes one file the complete quality-of-adaptation
+    record of a run.
+    """
+    payload: Dict[str, Any] = {
+        "total": journal.total,
+        "dropped": journal.dropped,
+        "effect_window_s": journal.effect_window_s,
+        "entries": journal.timeline(),
+    }
+    if score is not None:
+        payload["scorecard"] = score
+    if indent is None:
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return json.dumps(payload, sort_keys=True, indent=indent)
+
+
+def write_adaptation_timeline(
+    journal,
+    path: str,
+    score: Optional[Dict[str, Any]] = None,
+) -> str:
+    with open(path, "w") as handle:
+        handle.write(adaptation_timeline_json(journal, score=score, indent=2))
         handle.write("\n")
     return path
 

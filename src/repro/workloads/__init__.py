@@ -3,9 +3,11 @@
 from .clients import CorrectReader, CorrectWriter, DosAttacker, DosReader, ZipfReader
 from .mapreduce import MapReduceConfig, MapReduceJob, StageStats
 from .scenarios import (
+    DisturbanceScenario,
     DosScenario,
     HotspotScenario,
     WriteScenario,
+    build_disturbance_scenario,
     build_dos_scenario,
     build_hotspot_scenario,
     build_write_scenario,
@@ -17,6 +19,8 @@ __all__ = [
     "ZipfReader",
     "HotspotScenario",
     "build_hotspot_scenario",
+    "DisturbanceScenario",
+    "build_disturbance_scenario",
     "DosAttacker",
     "DosReader",
     "WriteScenario",

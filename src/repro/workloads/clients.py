@@ -199,6 +199,18 @@ class ZipfReader:
         rank = bisect_right(self._cdf, float(self.rng.random()))
         return self._rank_to_chunk[min(rank, self.total_chunks - 1)]
 
+    def reshuffle(self) -> None:
+        """Shift the hot set: redraw the rank→chunk permutation.
+
+        The popularity *shape* (the Zipf CDF) is unchanged; which chunks
+        are popular moves to a fresh seeded permutation.  Draws come from
+        the reader's own stream, so a reshuffle at a fixed sim time is as
+        reproducible as the reads around it — this is the "workload
+        disturbance" lever for adaptation-quality experiments.
+        """
+        self._rank_to_chunk = [int(i) for i in
+                               self.rng.permutation(self.total_chunks)]
+
     def run(self, env):
         """Generator: the client's lifetime (start with ``env.process``)."""
         if self.start_at > env.now:

@@ -9,6 +9,10 @@
 - :func:`build_hotspot_scenario` — a Zipf-skewed hot-spot read workload
   over one shared dataset BLOB, the stress case for the multi-tier
   caches (``repro.cache``) and the adaptive cache tuner.
+- :func:`build_disturbance_scenario` — the BENCH-ADAPT quality-of-
+  adaptation scenario: a sustained hot-spot read load hit by two seeded
+  disturbances (a hot-set shift and a provider-churn window), with the
+  cache tuner, decision journal, and adaptation scorecard wired in.
 """
 
 from __future__ import annotations
@@ -31,6 +35,8 @@ __all__ = [
     "build_dos_scenario",
     "HotspotScenario",
     "build_hotspot_scenario",
+    "DisturbanceScenario",
+    "build_disturbance_scenario",
 ]
 
 
@@ -390,4 +396,249 @@ def build_hotspot_scenario(
         tuner=tuner,
         dataset_chunks=dataset_chunks,
         chunk_size_mb=chunk_size_mb,
+    )
+
+
+@dataclass
+class DisturbanceScenario:
+    """Handles for a BENCH-ADAPT quality-of-adaptation run.
+
+    A sustained Zipf hot-spot read load is hit by two seeded
+    disturbances: at ``shift_at`` every reader's hot set jumps to a
+    fresh permutation (the caches' working set moves), and over
+    ``[churn_at, churn_at + churn_heal_s)`` a batch of data providers
+    crashes and later recovers (capacity and replica availability dip).
+    The cache tuner (when on) must chase both; the decision journal and
+    the adaptation scorecard measure how well it did.
+    """
+
+    deployment: BlobSeerDeployment
+    writer: CorrectWriter
+    readers: List[ZipfReader]
+    tuner: Optional["CacheTuner"]
+    journal: Optional["DecisionJournal"]
+    query: Optional["QueryEngine"]
+    dataset_chunks: int
+    chunk_size_mb: float
+    shift_at: float
+    churn_at: float
+    churn_heal_s: float
+    churn_providers: int
+    duration: float
+    slo_mbps: float
+    blob_id: Optional[int] = None
+    injector: Optional["FaultInjector"] = None
+    read_start: float = 0.0
+
+    __test__ = False
+
+    def preload(self) -> int:
+        """Write the shared dataset BLOB; returns its blob id."""
+        env = self.deployment.env
+        proc = env.process(self.writer.run(env), name="disturb-preload")
+        self.deployment.run(until=proc)
+        if self.writer.blob_id is None:
+            raise RuntimeError("dataset preload failed")
+        self.blob_id = self.writer.blob_id
+        for reader in self.readers:
+            reader.blob_id = self.blob_id
+        return self.blob_id
+
+    def _hot_set_shift(self, env):
+        delay = self.shift_at - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        for reader in self.readers:
+            reader.reshuffle()
+
+    def run(self) -> None:
+        """Preload, arm both disturbances, run readers to ``duration``."""
+        if self.blob_id is None:
+            self.preload()
+        env = self.deployment.env
+        self.read_start = env.now
+        for i, reader in enumerate(self.readers):
+            reader.stop_at = self.duration
+            env.process(reader.run(env), name=f"disturb-reader-{i}")
+        if self.tuner is not None:
+            env.process(self.tuner.run(env), name="cache-tuner")
+        env.process(self._hot_set_shift(env), name="hot-set-shift")
+        from ..cluster.faults import FaultInjector
+
+        self.injector = FaultInjector(self.deployment.testbed)
+        for k in range(self.churn_providers):
+            self.injector.crash_at(
+                self.deployment.testbed.node(f"provider-{k}-node"),
+                at=self.churn_at,
+                recover_after=self.churn_heal_s,
+            )
+        self.deployment.run(until=self.duration)
+        if self.journal is not None:
+            self.journal.resolve_effects()
+
+    # -- scoring -------------------------------------------------------------------
+    def disturbances(self) -> list:
+        from ..introspection.quality import Disturbance
+
+        return [
+            Disturbance(self.shift_at, "hot_set_shift"),
+            Disturbance(self.churn_at, "provider_churn"),
+        ]
+
+    def scorecard(self, hold_s: float = 3.0) -> dict:
+        """The SEAMS quality-of-adaptation scorecard for this run."""
+        from ..introspection.quality import AdaptationScorecard, SignalSpec
+
+        return AdaptationScorecard(
+            journal=self.journal,
+            metrics=self.deployment.env.metrics,
+            signals=[SignalSpec("client.throughput_mbps",
+                                min_value=self.slo_mbps, hold_s=hold_s,
+                                label="throughput")],
+            disturbances=self.disturbances(),
+        ).compute(t0=self.read_start, t1=self.deployment.env.now)
+
+    # -- observables (the determinism contract) ------------------------------------
+    def observables(self) -> str:
+        """Every simulated observable of the run, as one canonical JSON
+        string — byte-identical across repeats per seed, and between
+        journal-on and journal-off runs (the journal is inert)."""
+        import json
+
+        env = self.deployment.env
+        payload = {
+            "end": env.now,
+            "events": env.events_processed,
+            "completions": [
+                [r.client.client_id,
+                 [[op.op, op.blob_id, round(op.size_mb, 6),
+                   round(op.started_at, 9), round(op.finished_at, 9), op.ok]
+                  for op in r.client.history]]
+                for r in self.readers
+            ],
+            "delivered_mb": round(sum(r.total_read_mb()
+                                      for r in self.readers), 6),
+            "reallocations": self.deployment.net.reallocations,
+            "metrics": (env.metrics.to_dict()
+                        if env.metrics is not None else None),
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def total_read_mb(self) -> float:
+        return sum(r.total_read_mb() for r in self.readers)
+
+
+def build_disturbance_scenario(
+    readers: int = 6,
+    dataset_chunks: int = 48,
+    chunk_size_mb: float = 4.0,
+    skew: float = 1.2,
+    think_s: float = 0.2,
+    data_providers: int = 12,
+    metadata_providers: int = 2,
+    replication: int = 2,
+    chunk_cache_mb: float = 32.0,
+    metadata_cache_mb: float = 8.0,
+    provider_cache_mb: float = 32.0,
+    cache_policy: str = "lru",
+    with_tuner: bool = True,
+    tuner_interval_s: float = 5.0,
+    tuner_step_fraction: float = 0.25,
+    tuner_total_budget_mb: Optional[float] = None,
+    with_journal: bool = False,
+    journal_effect_window_s: float = 15.0,
+    shift_at: float = 60.0,
+    churn_at: float = 110.0,
+    churn_providers: int = 2,
+    churn_heal_s: float = 25.0,
+    duration: float = 170.0,
+    slo_mbps: float = 120.0,
+    seed: int = 0,
+) -> DisturbanceScenario:
+    """The BENCH-ADAPT scenario: hot-spot load + two disturbances.
+
+    Metrics are always on (the scorecard needs the
+    ``client.throughput_mbps`` series even in the tuner-off baseline);
+    *with_journal* additionally wires a
+    :class:`~repro.introspection.provenance.DecisionJournal` into the
+    tuner with effect attribution against the throughput signal.  The
+    journal is observably inert, so for any fixed configuration the
+    :meth:`DisturbanceScenario.observables` string is byte-identical
+    with the journal on or off.
+    """
+    from ..telemetry.metrics import MetricsRegistry
+
+    testbed = Testbed(TestbedConfig(seed=seed))
+    testbed.env.metrics = MetricsRegistry(testbed.env)
+    deployment = BlobSeerDeployment(
+        BlobSeerConfig(
+            data_providers=data_providers,
+            metadata_providers=metadata_providers,
+            replication=replication,
+            chunk_size_mb=chunk_size_mb,
+            client_chunk_cache_mb=chunk_cache_mb,
+            client_metadata_cache_mb=metadata_cache_mb,
+            provider_cache_mb=provider_cache_mb,
+            cache_policy=cache_policy,
+        ),
+        testbed=testbed,
+    )
+    writer_client = deployment.new_client("disturb-writer")
+    writer = CorrectWriter(
+        writer_client,
+        op_mb=dataset_chunks * chunk_size_mb,
+        chunk_size_mb=chunk_size_mb,
+        max_ops=1,
+    )
+    zipf_readers = []
+    for i in range(readers):
+        client = deployment.new_client(f"disturb-reader-{i}")
+        zipf_readers.append(ZipfReader(
+            client,
+            blob_id=-1,  # patched by preload()
+            total_chunks=dataset_chunks,
+            chunk_size_mb=chunk_size_mb,
+            rng=deployment.rng.stream(f"zipf:{i}"),
+            skew=skew,
+            think_s=think_s,
+        ))
+    tuner = None
+    query = None
+    if with_tuner:
+        from ..adaptation.cache_tuner import CacheTuner
+        from ..introspection.query import QueryEngine
+
+        query = QueryEngine.for_deployment(deployment,
+                                           window_s=3 * tuner_interval_s)
+        tuner = CacheTuner(
+            query,
+            caches=deployment.caches,
+            interval_s=tuner_interval_s,
+            step_fraction=tuner_step_fraction,
+            total_budget_mb=tuner_total_budget_mb,
+        )
+    journal = None
+    if with_journal:
+        from ..introspection.provenance import DecisionJournal
+
+        journal = DecisionJournal(testbed.env,
+                                  effect_window_s=journal_effect_window_s)
+        journal.watch("cache-tuner", ["client.throughput_mbps"])
+        if tuner is not None:
+            tuner.attach_journal(journal)
+    return DisturbanceScenario(
+        deployment=deployment,
+        writer=writer,
+        readers=zipf_readers,
+        tuner=tuner,
+        journal=journal,
+        query=query,
+        dataset_chunks=dataset_chunks,
+        chunk_size_mb=chunk_size_mb,
+        shift_at=shift_at,
+        churn_at=churn_at,
+        churn_heal_s=churn_heal_s,
+        churn_providers=churn_providers,
+        duration=duration,
+        slo_mbps=slo_mbps,
     )
