@@ -1,0 +1,60 @@
+"""Decision-framework demo: swap the Plan stage, keep everything else.
+
+Runs the seeded disturbance scenario four times — once per planner —
+with identical sensors, actuators, journal, and scorecard, then prints
+a comparison table.  Finishes with the two-loop contention scenario,
+where the framework cache tuner and elasticity engine share one
+conserved ``memory_mb`` ledger under the arbiter: watch elasticity
+preempt cache bytes to fund a scale-up the slack cannot cover.
+
+Run:  python examples/decision_planners.py
+"""
+
+from repro.workloads import build_contention_scenario, build_disturbance_scenario
+
+PLANNERS = ["marginal-utility", "threshold", "hill-climb", "epsilon-greedy"]
+
+
+def main() -> None:
+    print("disturbance scenario (hot-set shift at t=40, churn at t=80):")
+    print(f"{'planner':<18} {'slo_violation_s':>15} {'settle_s':>9} "
+          f"{'decisions':>9} {'oscillations':>12}")
+    for planner in PLANNERS:
+        scenario = build_disturbance_scenario(
+            with_journal=True, seed=1, planner=planner,
+            readers=4, duration=120.0, shift_at=40.0,
+            churn_at=80.0, churn_heal_s=20.0,
+        )
+        scenario.run()
+        score = scenario.scorecard()
+        fleet = score["fleet"]
+        settle = score["signals"]["throughput"]["disturbances"][
+            "hot_set_shift"]["settling_s"]
+        settle_s = f"{settle:.1f}" if settle is not None else "never"
+        print(f"{planner:<18} {fleet['slo_violation_s']:>15.1f} "
+              f"{settle_s:>9} "
+              f"{fleet['decisions']:>9} {fleet['oscillations']:>12}")
+
+    print()
+    print("contention scenario (cache tuner vs. elasticity, one budget):")
+    scenario = build_contention_scenario(with_journal=True, duration=100.0)
+    scenario.run()
+    arbiter = scenario.arbiter
+    ledger = arbiter.ledgers["memory_mb"]
+    print(f"  budget {ledger.capacity:.0f} MB, peak used "
+          f"{ledger.peak_used:.0f} MB (never exceeded: "
+          f"{ledger.peak_used <= ledger.capacity})")
+    print(f"  grants {arbiter.grants}, denials {arbiter.denials}, "
+          f"scale-ups {scenario.elasticity.scale_ups}")
+    for t, winner, loser, resource, freed in arbiter.preemptions:
+        print(f"  t={t:6.1f}s  {winner} preempted {freed:.0f} MB of "
+              f"{resource} from {loser}")
+    print()
+    print("journal attribution (planner per engine):")
+    for engine in sorted(scenario.journal.planners):
+        info = scenario.journal.planner_of(engine)
+        print(f"  {engine:<14} -> {info['name']} {info['params']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -89,6 +89,16 @@ class CacheTuner(ControlLoop):
         self.caches[cache.name] = cache
         return self
 
+    def planner_info(self):
+        """The built-in plan is the marginal-utility technique (the
+        framework's :class:`MarginalUtilityPlanner` is its extraction)."""
+        return {"name": "marginal-utility", "params": {
+            "pressure_threshold": self.evict_rate_threshold,
+            "idle_activity": self.idle_lookup_rate,
+            "spare_utilization": self.spare_utilization,
+            "step_fraction": self.step_fraction,
+        }}
+
     # -- monitor: publish interval rates as series -------------------------------
     def _publish(self, now: float) -> None:
         metrics = self.query.metrics

@@ -102,9 +102,28 @@ class ControlLoop:
         return self
 
     def attach_journal(self, journal) -> "ControlLoop":
-        """Record every decision (with evidence) into *journal*."""
+        """Record every decision (with evidence) into *journal*.
+
+        Also registers this engine's planner (name + parameters, from
+        :meth:`planner_info`) with the journal, so scorecards and
+        timeline exports can say *which* decision technique produced
+        each engine's numbers.
+        """
         self.journal = journal
+        info = self.planner_info()
+        if info and hasattr(journal, "set_planner"):
+            journal.set_planner(self.name, info.get("name"),
+                                info.get("params"))
         return self
+
+    def planner_info(self) -> Optional[Dict[str, Any]]:
+        """Name + parameters of this engine's decision technique.
+
+        ``None`` (the base default) means unadvertised.  Framework
+        :class:`~repro.decision.loop.DecisionLoop` engines report their
+        attached planner; legacy engines report their built-in one.
+        """
+        return None
 
     def note(self, **evidence: Any) -> None:
         """Stash planning evidence for provenance (cheap, unconditional)."""
@@ -124,7 +143,7 @@ class ControlLoop:
             self._health_pos
         )
 
-    def step(self, now: float) -> List[AdaptationDecision]:  # pragma: no cover
+    def step(self, now: float) -> List[AdaptationDecision]:
         """Inspect + adapt; implemented by subclasses."""
         raise NotImplementedError
 

@@ -83,6 +83,14 @@ class ElasticityController(ControlLoop):
         #: (time, pool_size) samples for bench plots.
         self.pool_timeline: List[tuple] = []
 
+    def planner_info(self):
+        return {"name": "watermark", "params": {
+            "high_load": self.high_load,
+            "low_load": self.low_load,
+            "high_fill": self.high_fill,
+            "scale_up_step": self.scale_up_step,
+        }}
+
     # -- signals ----------------------------------------------------------------
     def pool_load(self) -> float:
         """Mean provider pressure in [0, ~1.5]: NIC + disk queue."""

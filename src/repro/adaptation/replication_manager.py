@@ -48,10 +48,18 @@ class ReplicationManager(ControlLoop):
         max_repairs_per_step: int = 64,
         detector=None,
         repair_timeout_s: Optional[float] = None,
+        query=None,
     ) -> None:
         super().__init__(interval_s=interval_s)
         self.deployment = deployment
         self.env = deployment.env
+        #: Optional introspection QueryEngine.  When set, each sweep
+        #: publishes its directory view as metrics series
+        #: (``replication.under_replicated`` / ``.hot_chunks`` /
+        #: ``.chunks`` / ``.in_flight``), giving the decision journal a
+        #: signal to attribute repair/promote effects against.  ``None``
+        #: (the default) publishes nothing — byte-identical to before.
+        self.query = query
         self.target_replication = target_replication
         self.max_replication = max_replication
         self.hot_reads_per_s = hot_reads_per_s
@@ -77,6 +85,13 @@ class ReplicationManager(ControlLoop):
         #: read counters snapshot for hotness estimation
         self._read_counts: Dict[str, Tuple[float, int]] = {}
         self._in_flight: set[str] = set()
+
+    def planner_info(self):
+        return {"name": "sweep", "params": {
+            "target_replication": self.target_replication,
+            "max_replication": self.max_replication,
+            "hot_reads_per_s": self.hot_reads_per_s,
+        }}
 
     # -- directory ------------------------------------------------------------
     def chunk_directory(self) -> Dict[str, ChunkDescriptor]:
@@ -162,11 +177,24 @@ class ReplicationManager(ControlLoop):
                     now, self.name, "demote",
                     {"chunk": key, "from": victim.provider_id},
                 ))
+        self._publish(now, len(directory), under_replicated, hot)
         # Provenance: the sweep's view of the directory this step.
         self.note(chunks=len(directory), under_replicated=under_replicated,
                   hot_chunks=hot, lost_chunks=len(self.lost_chunks),
                   in_flight=len(self._in_flight))
         return decisions
+
+    def _publish(self, now: float, chunks: int, under_replicated: int,
+                 hot: int) -> None:
+        """Publish the sweep's directory view as metrics series."""
+        if self.query is None or self.query.metrics is None:
+            return
+        metrics = self.query.metrics
+        metrics.sample("replication.chunks", float(chunks))
+        metrics.sample("replication.under_replicated",
+                       float(under_replicated))
+        metrics.sample("replication.hot_chunks", float(hot))
+        metrics.sample("replication.in_flight", float(len(self._in_flight)))
 
     def _desired_degree(self, descriptor: ChunkDescriptor, now: float) -> int:
         """Target + hotness bonus, capped at max_replication."""

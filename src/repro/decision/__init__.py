@@ -1,0 +1,68 @@
+"""`repro.decision` — the pluggable MAPE-K decision framework.
+
+The paper's self-* engines (self-configuration, self-optimization,
+self-protection, §V) each grew their own ad-hoc MAPE-K loop with private
+sensor and actuator conventions.  This package is the shared substrate
+that makes alternative decision techniques drop-in comparable (RDMSim,
+arXiv:2105.01978, is the exemplar; the SEAMS survey, arXiv:2103.11481,
+supplies the quality metrics the PR-8 scorecard computes):
+
+- **sensors** — :class:`SignalRef`: a typed reference to one windowed
+  statistic, resolved through the introspection
+  :class:`~repro.introspection.query.QueryEngine`;
+- **actuators** — :class:`Action`: a typed, costed, applicable (and
+  optionally undoable) adaptation step;
+- **planners** — the :class:`Planner` interface plus four interchangeable
+  implementations (threshold, marginal utility, hill climbing,
+  epsilon-greedy bandit), all scored uniformly by the
+  :class:`~repro.introspection.quality.AdaptationScorecard`;
+- **arbitration** — the :class:`Arbiter`: priority bands over conserved
+  :class:`ResourceLedger`\\ s, so loops competing for one budget (cache
+  bytes vs. provider pool memory) can never jointly overspend it;
+- **loop** — :class:`DecisionLoop`, a
+  :class:`~repro.adaptation.controller.ControlLoop` that wires the four
+  together and journals through the standard provenance path;
+- **engines** — the paper's four engines ported onto the framework
+  (:func:`build_cache_tuner`, :class:`ElasticityEngine`,
+  :class:`ReplicationEngine`, :class:`SecurityEngine`), byte-identical
+  in their decisions to the legacy implementations per seed.
+"""
+
+from .actions import Action
+from .arbiter import Arbiter, ResourceLedger
+from .engines import (
+    CacheTuningDomain,
+    ElasticityEngine,
+    ReplicationEngine,
+    SecurityEngine,
+    build_cache_tuner,
+)
+from .loop import DecisionLoop
+from .planners import (
+    EpsilonGreedyPlanner,
+    HillClimbPlanner,
+    MarginalUtilityPlanner,
+    Planner,
+    ThresholdPlanner,
+    make_planner,
+)
+from .signals import SignalRef
+
+__all__ = [
+    "SignalRef",
+    "Action",
+    "Arbiter",
+    "ResourceLedger",
+    "Planner",
+    "ThresholdPlanner",
+    "MarginalUtilityPlanner",
+    "HillClimbPlanner",
+    "EpsilonGreedyPlanner",
+    "make_planner",
+    "DecisionLoop",
+    "CacheTuningDomain",
+    "build_cache_tuner",
+    "ElasticityEngine",
+    "ReplicationEngine",
+    "SecurityEngine",
+]

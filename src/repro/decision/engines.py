@@ -1,0 +1,754 @@
+"""The paper's four self-* engines, ported onto the decision framework.
+
+Each port is a :class:`~repro.decision.loop.DecisionLoop` that produces
+**byte-identical decisions per seed** to its legacy counterpart (the
+legacy classes in ``repro.adaptation`` / ``repro.security`` are the
+compatibility shims — untouched, still constructible, still the default
+everywhere).  The twin-run tests in ``tests/test_decision_engines.py``
+assert the equivalence decision-by-decision.
+
+- :func:`build_cache_tuner` — self-optimization over a
+  :class:`CacheTuningDomain`; the knob surface the four interchangeable
+  planners compete on.  With the default
+  :class:`~repro.decision.planners.MarginalUtilityPlanner` it replays
+  the legacy :class:`~repro.adaptation.cache_tuner.CacheTuner` exactly.
+- :class:`ElasticityEngine` — self-configuration (provider pool
+  watermarks).  Scale actions carry a ``provider_cost_mb`` debit so an
+  arbiter can charge pool growth against the same memory ledger cache
+  capacity lives in.
+- :class:`ReplicationEngine` — self-optimization (replication degree).
+  Reuses the legacy sweep helpers via an internal
+  :class:`~repro.adaptation.replication_manager.ReplicationManager`
+  (never started as a process), so repair/promote/demote mechanics are
+  shared code, not a fork.
+- :class:`SecurityEngine` — self-protection.  Owns the detection scan
+  (start the legacy stack with ``PolicyManagement.start(scan=False)``)
+  and journals each sanction as a framework decision while reproducing
+  the legacy ``security.violation`` trace instants and counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..adaptation.replication_manager import ReplicationManager
+from .actions import Action
+from .loop import DecisionLoop
+from .planners import MarginalUtilityPlanner, Planner
+from .signals import SignalRef
+
+__all__ = [
+    "CacheTuningDomain",
+    "build_cache_tuner",
+    "ElasticityEngine",
+    "ReplicationEngine",
+    "SecurityEngine",
+]
+
+_EPS = 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Self-optimization: cache capacity (the pluggable knob domain)
+# ---------------------------------------------------------------------------
+
+class CacheTuningDomain:
+    """Knob surface over registered caches (the planner protocol's
+    reference implementation — see :mod:`repro.decision.planners`).
+
+    Monitoring and sensing replicate the legacy
+    :class:`~repro.adaptation.cache_tuner.CacheTuner` exactly: interval
+    rates are published from cumulative :class:`CacheStats` diffs, and
+    signals are read back as sliding-window means through the query
+    engine.  ``pressure`` is evictions/s, ``activity`` is lookups/s.
+    """
+
+    def __init__(
+        self,
+        query,
+        caches=(),
+        window_s: Optional[float] = None,
+        total_budget_mb: Optional[float] = None,
+        min_capacity_mb: float = 4.0,
+        max_capacity_mb: Optional[float] = None,
+        dry_run: bool = False,
+        resource: str = "memory_mb",
+        reward_signal: Optional[SignalRef] = None,
+        engine: str = "cache-tuner",
+    ) -> None:
+        self.query = query
+        self.window_s = window_s
+        self.total_budget_mb = total_budget_mb
+        self.min_capacity_mb = min_capacity_mb
+        self.max_capacity_mb = max_capacity_mb
+        self.dry_run = dry_run
+        #: Ledger name grow/shrink costs settle against.
+        self.resource = resource
+        #: Global objective for the search-based planners (hill-climb,
+        #: bandit), e.g. ``SignalRef("client.throughput_mbps")``.
+        self.reward_signal = reward_signal
+        self.engine = engine
+        self.caches: Dict[str, Any] = {}
+        self._last: Dict[str, Tuple[int, int, int, float]] = {}
+        #: (time, {cache: capacity_mb}) after each executed step.
+        self.capacity_timeline: List[Tuple[float, Dict[str, float]]] = []
+        for cache in caches:
+            self.register(cache)
+
+    def register(self, cache) -> "CacheTuningDomain":
+        self.caches[cache.name] = cache
+        return self
+
+    # -- monitor (identical arithmetic to the legacy tuner) ----------------------
+    def publish(self, now: float) -> None:
+        metrics = self.query.metrics
+        for name, cache in self.caches.items():
+            stats = cache.stats
+            snap = (stats.hits, stats.misses, stats.evictions, now)
+            prev = self._last.get(name)
+            self._last[name] = snap
+            if prev is None or metrics is None:
+                continue
+            dt = now - prev[3]
+            if dt <= 0:
+                continue
+            hits = snap[0] - prev[0]
+            lookups = hits + (snap[1] - prev[1])
+            evictions = snap[2] - prev[2]
+            if lookups > 0:
+                metrics.sample(f"cache.{name}.hit_rate", hits / lookups)
+            metrics.sample(f"cache.{name}.lookups_per_s", lookups / dt)
+            metrics.sample(f"cache.{name}.evictions_per_s", evictions / dt)
+            metrics.sample(f"cache.{name}.bytes_mb", cache.bytes_used)
+            metrics.sample(f"cache.{name}.capacity_mb", cache.capacity_mb)
+
+    # -- planner protocol --------------------------------------------------------
+    def knobs(self) -> List[str]:
+        return list(self.caches)
+
+    def value(self, name: str) -> float:
+        return self.caches[name].capacity_mb
+
+    def bytes_used(self, name: str) -> float:
+        return self.caches[name].bytes_used
+
+    def utilization(self, name: str) -> float:
+        return self.caches[name].utilization
+
+    def floor(self, name: str) -> float:
+        return self.min_capacity_mb
+
+    def ceiling(self, name: str) -> Optional[float]:
+        return self.max_capacity_mb
+
+    def signals(self, name: str) -> Optional[Dict[str, float]]:
+        window = self.window_s
+        evict_rate = self.query.window_stat(
+            f"cache.{name}.evictions_per_s", "mean", window)
+        lookup_rate = self.query.window_stat(
+            f"cache.{name}.lookups_per_s", "mean", window)
+        if evict_rate is None or lookup_rate is None:
+            return None  # not enough history yet
+        hit_rate = self.query.window_stat(
+            f"cache.{name}.hit_rate", "mean", window)
+        return {
+            "pressure": evict_rate,
+            "activity": lookup_rate,
+            "hit_rate": hit_rate if hit_rate is not None else 0.0,
+        }
+
+    def evidence(self, name: str, signals: Dict[str, float]) -> Dict[str, float]:
+        return {
+            f"{name}.evictions_per_s": round(signals["pressure"], 6),
+            f"{name}.lookups_per_s": round(signals["activity"], 6),
+            f"{name}.hit_rate": round(signals["hit_rate"], 6),
+        }
+
+    def pool(self) -> Optional[float]:
+        """Remaining shared headroom under ``total_budget_mb``, live."""
+        if self.total_budget_mb is None:
+            return None
+        headroom = self.total_budget_mb - sum(
+            c.capacity_mb for c in self.caches.values())
+        return max(0.0, headroom)
+
+    def reward(self) -> Optional[float]:
+        if self.reward_signal is None:
+            return None
+        return self.reward_signal.resolve(self.query)
+
+    # -- actuators ---------------------------------------------------------------
+    def make_shrink(self, name: str, amount: float,
+                    signals: Optional[Dict[str, float]] = None) -> Action:
+        cache = self.caches[name]
+        before = cache.capacity_mb
+        after = before - amount
+        detail: Dict[str, Any] = {
+            "cache": name,
+            "from_mb": round(before, 3),
+            "to_mb": round(after, 3),
+        }
+        if signals is not None:
+            detail["lookups_per_s"] = round(signals["activity"], 3)
+            detail["evictions_per_s"] = round(signals["pressure"], 3)
+        return Action(
+            "cache_shrink", self.engine, subject=name,
+            cost={self.resource: -amount}, detail=detail,
+            apply=lambda: cache.resize(after),
+            undo=lambda: cache.resize(before),
+        )
+
+    def make_grow(self, name: str, amount: float,
+                  signals: Optional[Dict[str, float]] = None,
+                  utility: Optional[float] = None) -> Action:
+        cache = self.caches[name]
+        before = cache.capacity_mb
+        after = before + amount
+        detail: Dict[str, Any] = {
+            "cache": name,
+            "from_mb": round(before, 3),
+            "to_mb": round(after, 3),
+        }
+        if utility is not None:
+            detail["utility"] = round(utility, 6)
+        if signals is not None:
+            detail["hit_rate"] = round(signals["hit_rate"], 3)
+            detail["evictions_per_s"] = round(signals["pressure"], 3)
+        return Action(
+            "cache_grow", self.engine, subject=name,
+            cost={self.resource: amount}, detail=detail,
+            apply=lambda: cache.resize(after),
+            undo=lambda: cache.resize(before),
+        )
+
+    # -- arbiter integration -----------------------------------------------------
+    def held(self) -> float:
+        """Total capacity currently allocated (seed for ``assume``)."""
+        return sum(c.capacity_mb for c in self.caches.values())
+
+    def reclaim(self, resource: str, amount: float) -> float:
+        """Arbiter preemption hook: shrink caches to free *amount* MB.
+
+        Least-utilized caches give way first (name breaks ties), each
+        down to its occupancy floor.  Returns the MB actually freed.
+        """
+        if resource != self.resource:
+            return 0.0
+        freed = 0.0
+        order = sorted(self.caches,
+                       key=lambda n: (self.caches[n].utilization, n))
+        for name in order:
+            if freed >= amount - _EPS:
+                break
+            cache = self.caches[name]
+            floor = max(self.min_capacity_mb, cache.bytes_used)
+            give = min(cache.capacity_mb - floor, amount - freed)
+            if give <= _EPS:
+                continue
+            cache.resize(cache.capacity_mb - give)
+            freed += give
+        return freed
+
+
+class _CacheTunerLoop(DecisionLoop):
+    """DecisionLoop shell around a :class:`CacheTuningDomain`."""
+
+    name = "cache-tuner"
+
+    def sense(self, now: float) -> None:
+        self.domain.publish(now)
+
+    def step(self, now: float):
+        decisions = super().step(now)
+        self.domain.capacity_timeline.append(
+            (now, {name: c.capacity_mb
+                   for name, c in self.domain.caches.items()})
+        )
+        return decisions
+
+    # Legacy-compatible surface for benches and scenario plumbing.
+    @property
+    def caches(self) -> Dict[str, Any]:
+        return self.domain.caches
+
+    @property
+    def capacity_timeline(self):
+        return self.domain.capacity_timeline
+
+    def register(self, cache) -> "_CacheTunerLoop":
+        self.domain.register(cache)
+        return self
+
+
+def build_cache_tuner(
+    query,
+    caches=(),
+    planner: Optional[Planner] = None,
+    arbiter=None,
+    interval_s: float = 10.0,
+    cooldown_s: float = 0.0,
+    window_s: Optional[float] = None,
+    total_budget_mb: Optional[float] = None,
+    min_capacity_mb: float = 4.0,
+    max_capacity_mb: Optional[float] = None,
+    dry_run: bool = False,
+    resource: str = "memory_mb",
+    reward_signal: Optional[SignalRef] = None,
+    name: str = "cache-tuner",
+    **loop_kwargs: Any,
+) -> _CacheTunerLoop:
+    """The framework cache tuner: legacy geometry, pluggable planner.
+
+    With the default :class:`MarginalUtilityPlanner` (and matching
+    thresholds) its decisions are byte-identical per seed to the legacy
+    :class:`~repro.adaptation.cache_tuner.CacheTuner`.
+    """
+    domain = CacheTuningDomain(
+        query, caches,
+        window_s=window_s,
+        total_budget_mb=total_budget_mb,
+        min_capacity_mb=min_capacity_mb,
+        max_capacity_mb=max_capacity_mb,
+        dry_run=dry_run,
+        resource=resource,
+        reward_signal=reward_signal,
+        engine=name,
+    )
+    if planner is None:
+        planner = MarginalUtilityPlanner()
+    loop = _CacheTunerLoop(
+        planner=planner, domain=domain, arbiter=arbiter, name=name,
+        interval_s=interval_s, cooldown_s=cooldown_s, **loop_kwargs,
+    )
+    return loop
+
+
+# ---------------------------------------------------------------------------
+# Self-configuration: provider-pool elasticity
+# ---------------------------------------------------------------------------
+
+class _WatermarkPlanner(Planner):
+    """Elasticity's built-in plan: watermark rules over pool signals."""
+
+    name = "watermark"
+
+    def __init__(self, engine: "ElasticityEngine") -> None:
+        self.engine = engine
+
+    def params(self) -> Dict[str, Any]:
+        e = self.engine
+        return {
+            "high_load": e.high_load,
+            "low_load": e.low_load,
+            "high_fill": e.high_fill,
+            "scale_up_step": e.scale_up_step,
+        }
+
+    def plan(self, loop, now: float) -> Iterable[Action]:
+        return self.engine._plan(now)
+
+
+class ElasticityEngine(DecisionLoop):
+    """Framework port of
+    :class:`~repro.adaptation.elasticity.ElasticityController`.
+
+    Identical signals (NIC + disk-queue load, pool fill), identical
+    smoothing through the query engine, identical watermark plan — the
+    twin-run tests assert decision-for-decision equality per seed.  The
+    framework addition: ``scale_up`` debits and ``scale_down`` credits
+    ``provider_cost_mb`` MB per provider against *resource*, so an
+    arbiter can referee pool growth against cache capacity on one
+    conserved memory ledger.
+    """
+
+    name = "elasticity"
+
+    def __init__(
+        self,
+        deployment,
+        min_providers: int = 2,
+        max_providers: int = 256,
+        high_load: float = 0.65,
+        low_load: float = 0.15,
+        high_fill: float = 0.85,
+        scale_up_step: int = 2,
+        interval_s: float = 5.0,
+        cooldown_s: float = 15.0,
+        provision_delay_s: float = 10.0,
+        query=None,
+        smooth_window_s: Optional[float] = None,
+        arbiter=None,
+        resource: str = "memory_mb",
+        provider_cost_mb: float = 64.0,
+        **loop_kwargs: Any,
+    ) -> None:
+        super().__init__(
+            arbiter=arbiter, interval_s=interval_s, cooldown_s=cooldown_s,
+            **loop_kwargs,
+        )
+        self.planner = _WatermarkPlanner(self)
+        self.deployment = deployment
+        self.env = deployment.env
+        self.query = query
+        self.smooth_window_s = (
+            smooth_window_s if smooth_window_s is not None
+            else 3.0 * interval_s
+        )
+        self.min_providers = min_providers
+        self.max_providers = max_providers
+        self.high_load = high_load
+        self.low_load = low_load
+        self.high_fill = high_fill
+        self.scale_up_step = scale_up_step
+        self.provision_delay_s = provision_delay_s
+        self.resource = resource
+        #: MB of ledger memory one provider's footprint occupies.
+        self.provider_cost_mb = provider_cost_mb
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self._provisioning = 0
+        self._draining: set = set()
+        self.pool_timeline: List[tuple] = []
+
+    # -- signals (identical to the legacy controller) ----------------------------
+    def pool_load(self) -> float:
+        providers = self.deployment.pmanager.active_providers()
+        if not providers:
+            return 1.0
+        total = 0.0
+        for provider in providers:
+            out_rate, in_rate = provider.node.network_load()
+            nic = (out_rate + in_rate) / (
+                provider.node.netnode.capacity_in
+                + provider.node.netnode.capacity_out
+            )
+            queue = min(1.0, provider.disk_queue_length / 8.0)
+            total += 0.7 * nic + 0.3 * queue
+        return total / len(providers)
+
+    def pool_fill(self) -> float:
+        providers = self.deployment.pmanager.active_providers()
+        if not providers:
+            return 1.0
+        used = sum(p.node.disk_used_mb for p in providers)
+        capacity = sum(p.node.disk.capacity for p in providers)
+        return used / capacity if capacity else 1.0
+
+    # -- plan (identical control law, costed actions) ----------------------------
+    def _plan(self, now: float) -> Iterable[Action]:
+        pool = self.deployment.pmanager.pool_size() + self._provisioning
+        load = self.pool_load()
+        fill = self.pool_fill()
+        if self.query is not None and self.query.metrics is not None:
+            metrics = self.query.metrics
+            metrics.sample("elasticity.pool_load", load)
+            metrics.sample("elasticity.pool_fill", fill)
+            metrics.sample("elasticity.pool_size", float(pool))
+            smoothed_load = self.query.window_stat(
+                "elasticity.pool_load", "mean", self.smooth_window_s)
+            smoothed_fill = self.query.window_stat(
+                "elasticity.pool_fill", "mean", self.smooth_window_s)
+            if smoothed_load is not None:
+                load = smoothed_load
+            if smoothed_fill is not None:
+                fill = smoothed_fill
+        self.pool_timeline.append((now, pool, load))
+        self.note(pool_size=pool, pool_load=round(load, 6),
+                  pool_fill=round(fill, 6),
+                  smoothed=self.query is not None)
+
+        if ((load > self.high_load or fill > self.high_fill)
+                and pool < self.max_providers):
+            count = min(self.scale_up_step, self.max_providers - pool)
+
+            def scale_up() -> None:
+                for _ in range(count):
+                    self._provisioning += 1
+                    self.env.process(self._provision(), name="elastic-up")
+                self.scale_ups += count
+
+            yield Action(
+                "scale_up", self.name,
+                cost={self.resource: count * self.provider_cost_mb},
+                detail={"count": count, "load": round(load, 3),
+                        "fill": round(fill, 3)},
+                apply=scale_up,
+            )
+        elif (load < self.low_load and fill < self.high_fill
+                and pool > self.min_providers):
+            victim = self._pick_victim()
+            if victim is not None:
+
+                def scale_down() -> None:
+                    self._draining.add(victim.provider_id)
+                    self.env.process(self._drain(victim),
+                                     name="elastic-down")
+                    self.scale_downs += 1
+
+                yield Action(
+                    "scale_down", self.name, subject=victim.provider_id,
+                    cost={self.resource: -self.provider_cost_mb},
+                    detail={"provider": victim.provider_id,
+                            "load": round(load, 3)},
+                    apply=scale_down,
+                )
+
+    def _pick_victim(self):
+        candidates = [
+            p for p in self.deployment.pmanager.active_providers()
+            if p.provider_id not in self._draining
+        ]
+        if len(candidates) <= self.min_providers:
+            return None
+        return min(candidates, key=lambda p: (len(p.chunks), p.load_score()))
+
+    def _provision(self):
+        yield self.env.timeout(self.provision_delay_s)
+        self._provisioning -= 1
+        self.deployment.add_provider()
+
+    def _drain(self, provider):
+        from ..adaptation.replication_manager import migrate_chunks
+        from ..blobseer.errors import NoProvidersAvailable
+
+        provider.decommission()
+        self.deployment.pmanager.deregister(provider.provider_id)
+        try:
+            yield from migrate_chunks(provider, self.deployment)
+        except NoProvidersAvailable:
+            provider.recommission()
+            self.deployment.pmanager.register(provider)
+        finally:
+            self._draining.discard(provider.provider_id)
+
+
+# ---------------------------------------------------------------------------
+# Self-optimization: replication degree
+# ---------------------------------------------------------------------------
+
+class _SweepPlanner(Planner):
+    """Replication's built-in plan: the directory sweep."""
+
+    name = "sweep"
+
+    def __init__(self, engine: "ReplicationEngine") -> None:
+        self.engine = engine
+
+    def params(self) -> Dict[str, Any]:
+        impl = self.engine.impl
+        return {
+            "target_replication": impl.target_replication,
+            "max_replication": impl.max_replication,
+            "hot_reads_per_s": impl.hot_reads_per_s,
+        }
+
+    def plan(self, loop, now: float) -> Iterable[Action]:
+        return self.engine._plan(now)
+
+
+class ReplicationEngine(DecisionLoop):
+    """Framework port of
+    :class:`~repro.adaptation.replication_manager.ReplicationManager`.
+
+    The sweep mechanics (directory view, detector-aware liveness,
+    hotness estimation, repair copies) are *shared* with the legacy
+    class through an internal manager instance — only the MAPE shell is
+    the framework's.  Actions are applied as the sweep yields them, so
+    a demote frees disk that the very next repair's target pick can
+    use, exactly like the legacy in-place loop.
+    """
+
+    name = "replication"
+
+    def __init__(
+        self,
+        deployment,
+        target_replication: int = 2,
+        max_replication: int = 4,
+        hot_reads_per_s: float = 1.0,
+        interval_s: float = 5.0,
+        max_repairs_per_step: int = 64,
+        detector=None,
+        repair_timeout_s: Optional[float] = None,
+        query=None,
+        arbiter=None,
+        **loop_kwargs: Any,
+    ) -> None:
+        super().__init__(arbiter=arbiter, interval_s=interval_s,
+                         **loop_kwargs)
+        self.planner = _SweepPlanner(self)
+        #: Legacy manager reused purely for its sweep helpers and
+        #: repair-copy processes; its own run() is never started.
+        self.impl = ReplicationManager(
+            deployment,
+            target_replication=target_replication,
+            max_replication=max_replication,
+            hot_reads_per_s=hot_reads_per_s,
+            interval_s=interval_s,
+            max_repairs_per_step=max_repairs_per_step,
+            detector=detector,
+            repair_timeout_s=repair_timeout_s,
+            query=query,
+        )
+        self.deployment = deployment
+        self.env = deployment.env
+
+    # Legacy-compatible reporting surface.
+    @property
+    def repairs_done(self) -> int:
+        return self.impl.repairs_done
+
+    @property
+    def promotions(self) -> int:
+        return self.impl.promotions
+
+    @property
+    def demotions(self) -> int:
+        return self.impl.demotions
+
+    @property
+    def repair_traffic_mb(self) -> float:
+        return self.impl.repair_traffic_mb
+
+    @property
+    def lost_chunks(self) -> List[str]:
+        return self.impl.lost_chunks
+
+    def _plan(self, now: float) -> Iterable[Action]:
+        impl = self.impl
+        repairs = 0
+        directory = impl.chunk_directory()
+        under_replicated = hot = 0
+        for key, descriptor in directory.items():
+            if key in impl._in_flight:
+                continue
+            replicas = impl.live_replicas(descriptor)
+            if not replicas:
+                if key not in impl.lost_chunks:
+                    impl.lost_chunks.append(key)
+                continue
+            want = impl._desired_degree(descriptor, now)
+            if len(replicas) < impl.target_replication:
+                under_replicated += 1
+            if want > impl.target_replication:
+                hot += 1
+            if len(replicas) < want and repairs < impl.max_repairs_per_step:
+                target = impl._pick_target(descriptor)
+                if target is None:
+                    continue
+                repairs += 1
+                kind = ("repair" if len(replicas) < impl.target_replication
+                        else "promote")
+                source = impl._pick_source(replicas)
+
+                def start_copy(descriptor=descriptor, source=source,
+                               target=target, kind=kind, key=key) -> None:
+                    impl._in_flight.add(key)
+                    self.env.process(
+                        impl._copy(descriptor, source, target, kind),
+                        name=f"repl-{kind}",
+                    )
+
+                yield Action(
+                    kind, self.name, subject=key,
+                    detail={"chunk": key, "to": target.provider_id},
+                    apply=start_copy,
+                )
+            elif len(replicas) > want:
+                victim = replicas[-1]
+
+                def drop_replica(victim=victim, key=key) -> None:
+                    victim.delete_chunk(key)
+                    impl.demotions += 1
+
+                yield Action(
+                    "demote", self.name, subject=key,
+                    detail={"chunk": key, "from": victim.provider_id},
+                    apply=drop_replica,
+                )
+        impl._publish(now, len(directory), under_replicated, hot)
+        self.note(chunks=len(directory), under_replicated=under_replicated,
+                  hot_chunks=hot, lost_chunks=len(impl.lost_chunks),
+                  in_flight=len(impl._in_flight))
+
+
+# ---------------------------------------------------------------------------
+# Self-protection: policy scan + sanctions
+# ---------------------------------------------------------------------------
+
+class _ScanPlanner(Planner):
+    """Self-protection's built-in plan: the periodic policy scan."""
+
+    name = "policy-scan"
+
+    def __init__(self, engine: "SecurityEngine") -> None:
+        self.engine = engine
+
+    def params(self) -> Dict[str, Any]:
+        detection = self.engine.detection
+        return {
+            "scan_interval_s": detection.scan_interval_s,
+            "confirmations": detection.confirmations,
+            "refire_holdoff_s": detection.refire_holdoff_s,
+        }
+
+    def plan(self, loop, now: float) -> Iterable[Action]:
+        return self.engine._plan(now)
+
+
+class SecurityEngine(DecisionLoop):
+    """Framework port of the self-protection scan loop.
+
+    Owns the periodic :meth:`DetectionEngine.scan_once` call (start the
+    legacy stack with ``management.start(scan=False)`` so only the
+    history pull runs there).  Enforcement still fires *inside* the
+    scan, through the engine's violation listeners — unchanged ordering
+    — while each violation additionally becomes a framework ``sanction``
+    decision, journaled with its policy/occurrence/trust evidence.  The
+    legacy ``security.violation`` trace instants and
+    ``security.violations`` counter are reproduced sample-for-sample.
+    """
+
+    name = "security"
+
+    def __init__(self, management, arbiter=None,
+                 **loop_kwargs: Any) -> None:
+        loop_kwargs.setdefault(
+            "interval_s", management.config.scan_interval_s)
+        super().__init__(arbiter=arbiter, **loop_kwargs)
+        self.planner = _ScanPlanner(self)
+        self.management = management
+        self.detection = management.engine
+        self.env = management.env
+
+    def _plan(self, now: float) -> Iterable[Action]:
+        found = self.detection.scan_once(now)
+        tracer = self.env.tracer
+        metrics = self.env.metrics
+        trust = self.management.trust
+        for violation in found:
+            # Reproduce the legacy DetectionEngine.run() telemetry.
+            if tracer.enabled:
+                tracer.instant(
+                    "security.violation", track="detection-engine",
+                    cat="security", client=violation.client_id,
+                    policy=violation.policy.name,
+                    occurrence=violation.occurrence,
+                )
+            if metrics is not None:
+                metrics.counter("security.violations").inc()
+            evidence = {
+                f"{violation.client_id}.policy": violation.policy.name,
+                f"{violation.client_id}.occurrence": violation.occurrence,
+            }
+            if trust is not None:
+                evidence[f"{violation.client_id}.trust"] = round(
+                    trust.trust_of(violation.client_id, violation.time), 6)
+            self.note(**evidence)
+            yield Action(
+                "sanction", self.name, subject=violation.client_id,
+                detail={"client": violation.client_id,
+                        "policy": violation.policy.name},
+            )
+        self.note(scans=self.detection.scans,
+                  violations=len(self.detection.violations))

@@ -1,0 +1,45 @@
+"""Typed sensors: windowed-statistic references resolved per step.
+
+A :class:`SignalRef` names one sliding-window statistic of one metrics
+series — the unit of observation every planner consumes.  References are
+immutable and hashable, so a planner's sensor set doubles as part of its
+comparable configuration, and resolution goes through the introspection
+:class:`~repro.introspection.query.QueryEngine` so materialized rollups
+and the per-step query memo apply transparently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+__all__ = ["SignalRef", "resolve_all"]
+
+
+@dataclass(frozen=True)
+class SignalRef:
+    """One windowed statistic of one series, e.g. ``mean`` of
+    ``cache.client-chunk.evictions_per_s`` over the engine's window."""
+
+    series: str
+    stat: str = "mean"
+    window_s: Optional[float] = None
+
+    def resolve(self, query, now: Optional[float] = None) -> Optional[float]:
+        """The current value through *query*; ``None`` without history."""
+        if query is None:
+            return None
+        return query.window_stat(self.series, self.stat, self.window_s, now=now)
+
+    @property
+    def key(self) -> str:
+        """Stable evidence/provenance key for this reference."""
+        window = "engine" if self.window_s is None else f"{self.window_s:g}s"
+        return f"{self.series}:{self.stat}@{window}"
+
+
+def resolve_all(
+    refs: Sequence[SignalRef], query, now: Optional[float] = None,
+) -> Dict[str, Optional[float]]:
+    """Resolve every reference; keys are each ref's :attr:`SignalRef.key`."""
+    return {ref.key: ref.resolve(query, now) for ref in refs}

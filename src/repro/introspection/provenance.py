@@ -169,6 +169,10 @@ class DecisionJournal:
         self.dropped = 0
         #: engine name -> series names to attribute effects against.
         self._watched: Dict[str, Tuple[str, ...]] = {}
+        #: engine name -> {"name": .., "params": {..}}: which decision
+        #: technique produced that engine's entries (set automatically
+        #: by ``ControlLoop.attach_journal`` via ``planner_info()``).
+        self.planners: Dict[str, Dict[str, Any]] = {}
         #: Entries whose effect window has not yet been resolved.
         self._pending: List[JournalEntry] = []
         self._seq = 0
@@ -181,6 +185,15 @@ class DecisionJournal:
 
     def watched(self, engine: str) -> Tuple[str, ...]:
         return self._watched.get(engine, ())
+
+    def set_planner(self, engine: str, name: str,
+                    params: Optional[Dict[str, Any]] = None) -> "DecisionJournal":
+        """Record which planner (and parameters) drives *engine*."""
+        self.planners[engine] = {"name": name, "params": dict(params or {})}
+        return self
+
+    def planner_of(self, engine: str) -> Optional[Dict[str, Any]]:
+        return self.planners.get(engine)
 
     # -- recording ---------------------------------------------------------------
     def record_decision(
@@ -378,6 +391,7 @@ class DecisionJournal:
             "dropped": self.dropped,
             "capacity": self.capacity,
             "effect_window_s": self.effect_window_s,
+            "planners": _jsonable(self.planners),
             "entries": self.timeline(),
         }
         if indent is None:

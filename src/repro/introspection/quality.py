@@ -276,6 +276,12 @@ class AdaptationScorecard:
                 "mean_time_to_effect_s": (sum(ttes) / len(ttes)
                                           if ttes else None),
             }
+            planner = getattr(self.journal, "planner_of",
+                              lambda _e: None)(engine)
+            if planner is not None:
+                out[engine]["planner"] = planner.get("name")
+                out[engine]["planner_params"] = dict(
+                    planner.get("params") or {})
         return out
 
     # -- signal-side metrics -----------------------------------------------------

@@ -143,6 +143,7 @@ def adaptation_scorecard(score: dict, title: str = "Adaptation scorecard") -> st
         entry = score["engines"][engine]
         engine_rows.append((
             engine,
+            entry.get("planner") or "-",
             entry["decisions"],
             _fmt(entry["churn_per_min"], 2),
             entry["oscillations"],
@@ -152,7 +153,7 @@ def adaptation_scorecard(score: dict, title: str = "Adaptation scorecard") -> st
         ))
     if engine_rows:
         panels.append(table(
-            ["engine", "decisions", "churn/min", "oscillations",
+            ["engine", "planner", "decisions", "churn/min", "oscillations",
              "time_to_effect", "plan_latency"],
             engine_rows,
         ))

@@ -130,15 +130,28 @@ class PolicyManagement:
             ), evidence=evidence)
 
         self.engine.on_violation(_record)
+        if hasattr(journal, "set_planner"):
+            journal.set_planner("security", "policy-scan", {
+                "scan_interval_s": self.config.scan_interval_s,
+                "confirmations": self.config.confirmations,
+                "refire_holdoff_s": self.config.refire_holdoff_s,
+            })
         return self
 
-    def start(self) -> None:
-        """Launch the history-pull and detection-scan loops."""
+    def start(self, scan: bool = True) -> None:
+        """Launch the history-pull and (with ``scan``) detection loops.
+
+        ``scan=False`` starts only the history pull — for runs where a
+        framework :class:`~repro.decision.engines.SecurityEngine` owns
+        the periodic scan instead of the built-in
+        :meth:`DetectionEngine.run` process.
+        """
         if self._started:
             return
         self._started = True
         self.env.process(self.source.run(self.env), name="security-history-pull")
-        self.env.process(self.engine.run(self.env), name="security-scan")
+        if scan:
+            self.env.process(self.engine.run(self.env), name="security-scan")
 
     # -- reporting ----------------------------------------------------------------
     @property

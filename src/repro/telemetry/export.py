@@ -232,6 +232,7 @@ def adaptation_timeline_json(
         "total": journal.total,
         "dropped": journal.dropped,
         "effect_window_s": journal.effect_window_s,
+        "planners": dict(getattr(journal, "planners", {}) or {}),
         "entries": journal.timeline(),
     }
     if score is not None:

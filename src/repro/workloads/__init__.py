@@ -3,10 +3,12 @@
 from .clients import CorrectReader, CorrectWriter, DosAttacker, DosReader, ZipfReader
 from .mapreduce import MapReduceConfig, MapReduceJob, StageStats
 from .scenarios import (
+    ContentionScenario,
     DisturbanceScenario,
     DosScenario,
     HotspotScenario,
     WriteScenario,
+    build_contention_scenario,
     build_disturbance_scenario,
     build_dos_scenario,
     build_hotspot_scenario,
@@ -21,6 +23,8 @@ __all__ = [
     "build_hotspot_scenario",
     "DisturbanceScenario",
     "build_disturbance_scenario",
+    "ContentionScenario",
+    "build_contention_scenario",
     "DosAttacker",
     "DosReader",
     "WriteScenario",

@@ -13,6 +13,14 @@
   adaptation scenario: a sustained hot-spot read load hit by two seeded
   disturbances (a hot-set shift and a provider-churn window), with the
   cache tuner, decision journal, and adaptation scorecard wired in.
+  With ``planner=`` the legacy tuner is swapped for the framework
+  :func:`~repro.decision.engines.build_cache_tuner` running any of the
+  interchangeable planners — the BENCH-DECIDE matrix axis.
+- :func:`build_contention_scenario` — the BENCH-DECIDE two-loop case:
+  the framework cache tuner and the framework elasticity engine compete
+  for one conserved memory ledger under an
+  :class:`~repro.decision.arbiter.Arbiter` (elasticity outranks cache
+  tuning; preemption physically shrinks caches).
 """
 
 from __future__ import annotations
@@ -37,6 +45,8 @@ __all__ = [
     "build_hotspot_scenario",
     "DisturbanceScenario",
     "build_disturbance_scenario",
+    "ContentionScenario",
+    "build_contention_scenario",
 ]
 
 
@@ -429,6 +439,8 @@ class DisturbanceScenario:
     blob_id: Optional[int] = None
     injector: Optional["FaultInjector"] = None
     read_start: float = 0.0
+    #: Planner driving the tuner: None = the legacy CacheTuner engine.
+    planner_name: Optional[str] = None
 
     __test__ = False
 
@@ -554,6 +566,7 @@ def build_disturbance_scenario(
     duration: float = 170.0,
     slo_mbps: float = 120.0,
     seed: int = 0,
+    planner: Optional[str] = None,
 ) -> DisturbanceScenario:
     """The BENCH-ADAPT scenario: hot-spot load + two disturbances.
 
@@ -565,6 +578,14 @@ def build_disturbance_scenario(
     journal is observably inert, so for any fixed configuration the
     :meth:`DisturbanceScenario.observables` string is byte-identical
     with the journal on or off.
+
+    *planner* selects the decision technique (BENCH-DECIDE): ``None``
+    runs the legacy :class:`~repro.adaptation.cache_tuner.CacheTuner`;
+    any :data:`~repro.decision.planners.PLANNERS` name runs the
+    framework tuner (:func:`~repro.decision.engines.build_cache_tuner`)
+    with that planner — same interval, budget, and step fraction, same
+    seeded streams.  The bandit draws from the dedicated
+    ``decision:bandit`` stream only, so every other stream is untouched.
     """
     from ..telemetry.metrics import MetricsRegistry
 
@@ -605,18 +626,34 @@ def build_disturbance_scenario(
     tuner = None
     query = None
     if with_tuner:
-        from ..adaptation.cache_tuner import CacheTuner
         from ..introspection.query import QueryEngine
 
         query = QueryEngine.for_deployment(deployment,
                                            window_s=3 * tuner_interval_s)
-        tuner = CacheTuner(
-            query,
-            caches=deployment.caches,
-            interval_s=tuner_interval_s,
-            step_fraction=tuner_step_fraction,
-            total_budget_mb=tuner_total_budget_mb,
-        )
+        if planner is None:
+            from ..adaptation.cache_tuner import CacheTuner
+
+            tuner = CacheTuner(
+                query,
+                caches=deployment.caches,
+                interval_s=tuner_interval_s,
+                step_fraction=tuner_step_fraction,
+                total_budget_mb=tuner_total_budget_mb,
+            )
+        else:
+            from ..decision import SignalRef, build_cache_tuner, make_planner
+
+            rng = (deployment.rng.stream("decision:bandit")
+                   if planner == "epsilon-greedy" else None)
+            tuner = build_cache_tuner(
+                query,
+                caches=deployment.caches,
+                planner=make_planner(planner, rng=rng,
+                                     step_fraction=tuner_step_fraction),
+                interval_s=tuner_interval_s,
+                total_budget_mb=tuner_total_budget_mb,
+                reward_signal=SignalRef("client.throughput_mbps"),
+            )
     journal = None
     if with_journal:
         from ..introspection.provenance import DecisionJournal
@@ -641,4 +678,296 @@ def build_disturbance_scenario(
         churn_providers=churn_providers,
         duration=duration,
         slo_mbps=slo_mbps,
+        planner_name=planner,
+    )
+
+
+@dataclass
+class ContentionScenario:
+    """Handles for a BENCH-DECIDE two-loop contention run.
+
+    The framework cache tuner (self-optimization) and the framework
+    elasticity engine (self-configuration) adapt the same deployment
+    while an :class:`~repro.decision.arbiter.Arbiter` referees one
+    conserved ``memory_mb`` ledger: cache capacity and provider-pool
+    footprint are charged against the same budget.  Elasticity sits in
+    the higher-priority band, so a scale-up that does not fit preempts
+    cache capacity (physically shrinking caches through the tuner
+    domain's reclaim hook); a scale-down credits budget back that the
+    tuner can reclaim for caches.  The ledger invariant
+    ``used <= capacity`` is asserted on every settlement.
+    """
+
+    deployment: BlobSeerDeployment
+    writer: CorrectWriter
+    readers: List[ZipfReader]
+    #: Background bulk writers: the provider-pool load elasticity sees
+    #: (client caches absorb the Zipf reads, so reads alone load nothing).
+    load_writers: List[CorrectWriter]
+    tuner: "DecisionLoop"
+    elasticity: "ElasticityEngine"
+    arbiter: "Arbiter"
+    journal: Optional["DecisionJournal"]
+    query: "QueryEngine"
+    dataset_chunks: int
+    chunk_size_mb: float
+    shift_at: float
+    duration: float
+    slo_mbps: float
+    memory_budget_mb: float
+    planner_name: str = "marginal-utility"
+    blob_id: Optional[int] = None
+    read_start: float = 0.0
+
+    __test__ = False
+
+    def preload(self) -> int:
+        env = self.deployment.env
+        proc = env.process(self.writer.run(env), name="contend-preload")
+        self.deployment.run(until=proc)
+        if self.writer.blob_id is None:
+            raise RuntimeError("dataset preload failed")
+        self.blob_id = self.writer.blob_id
+        for reader in self.readers:
+            reader.blob_id = self.blob_id
+        return self.blob_id
+
+    def _hot_set_shift(self, env):
+        delay = self.shift_at - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        for reader in self.readers:
+            reader.reshuffle()
+
+    def run(self) -> None:
+        """Preload, start both engines, run readers to ``duration``."""
+        if self.blob_id is None:
+            self.preload()
+        env = self.deployment.env
+        self.read_start = env.now
+        for i, reader in enumerate(self.readers):
+            reader.stop_at = self.duration
+            env.process(reader.run(env), name=f"contend-reader-{i}")
+        for i, writer in enumerate(self.load_writers):
+            writer.stop_at = self.duration
+            env.process(writer.run(env), name=f"contend-writer-{i}")
+        env.process(self.tuner.run(env), name="cache-tuner")
+        env.process(self.elasticity.run(env), name="elasticity")
+        env.process(self._hot_set_shift(env), name="hot-set-shift")
+        self.deployment.run(until=self.duration)
+        for ledger in self.arbiter.ledgers.values():
+            ledger.assert_conserved()
+        if self.journal is not None:
+            self.journal.resolve_effects()
+
+    # -- scoring -------------------------------------------------------------------
+    def scorecard(self, hold_s: float = 3.0) -> dict:
+        from ..introspection.quality import (
+            AdaptationScorecard, Disturbance, SignalSpec,
+        )
+
+        return AdaptationScorecard(
+            journal=self.journal,
+            metrics=self.deployment.env.metrics,
+            signals=[SignalSpec("client.throughput_mbps",
+                                min_value=self.slo_mbps, hold_s=hold_s,
+                                label="throughput")],
+            disturbances=[Disturbance(self.shift_at, "hot_set_shift")],
+        ).compute(t0=self.read_start, t1=self.deployment.env.now)
+
+    def total_read_mb(self) -> float:
+        return sum(r.total_read_mb() for r in self.readers)
+
+    # -- observables (the determinism contract) ------------------------------------
+    def observables(self) -> str:
+        """Every simulated observable plus the arbiter's final ledger
+        state, as one canonical JSON string (byte-identical per seed)."""
+        import json
+
+        env = self.deployment.env
+        payload = {
+            "end": env.now,
+            "events": env.events_processed,
+            "completions": [
+                [r.client.client_id,
+                 [[op.op, op.blob_id, round(op.size_mb, 6),
+                   round(op.started_at, 9), round(op.finished_at, 9), op.ok]
+                  for op in r.client.history]]
+                for r in self.readers
+            ],
+            "delivered_mb": round(sum(r.total_read_mb()
+                                      for r in self.readers), 6),
+            "write_ops": [len(w.results) for w in self.load_writers],
+            "pool_size": self.deployment.pmanager.pool_size(),
+            "capacities": {name: round(c.capacity_mb, 6)
+                           for name, c in self.tuner.caches.items()},
+            "arbiter": self.arbiter.to_dict(),
+            "metrics": (env.metrics.to_dict()
+                        if env.metrics is not None else None),
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def build_contention_scenario(
+    readers: int = 6,
+    dataset_chunks: int = 48,
+    chunk_size_mb: float = 4.0,
+    skew: float = 1.2,
+    think_s: float = 0.2,
+    data_providers: int = 8,
+    metadata_providers: int = 2,
+    replication: int = 2,
+    chunk_cache_mb: float = 32.0,
+    metadata_cache_mb: float = 8.0,
+    provider_cache_mb: float = 32.0,
+    cache_policy: str = "lru",
+    load_writers: int = 4,
+    writer_op_mb: float = 128.0,
+    writer_chunk_mb: float = 4.0,
+    planner: str = "marginal-utility",
+    tuner_interval_s: float = 5.0,
+    tuner_step_fraction: float = 0.25,
+    elasticity_interval_s: float = 5.0,
+    elasticity_cooldown_s: float = 10.0,
+    high_load: float = 0.2,
+    low_load: float = 0.02,
+    high_fill: float = 0.85,
+    scale_up_step: int = 2,
+    max_extra_providers: int = 4,
+    provider_cost_mb: float = 48.0,
+    memory_budget_mb: Optional[float] = None,
+    slack_mb: Optional[float] = None,
+    with_journal: bool = False,
+    journal_effect_window_s: float = 15.0,
+    shift_at: float = 40.0,
+    duration: float = 120.0,
+    slo_mbps: float = 120.0,
+    seed: int = 0,
+) -> ContentionScenario:
+    """The BENCH-DECIDE contention case: two framework loops, one budget.
+
+    ``memory_budget_mb`` defaults to the initial allocation (cache
+    capacities + pool footprint) plus ``slack_mb`` of headroom — which
+    itself defaults to 1.5 provider footprints, deliberately **less**
+    than one ``scale_up_step`` worth, so the first scale-up under load
+    must preempt cache capacity through the arbiter.
+    """
+    from ..decision import (
+        Arbiter, SignalRef, build_cache_tuner, make_planner,
+    )
+    from ..decision.engines import ElasticityEngine
+    from ..introspection.query import QueryEngine
+    from ..telemetry.metrics import MetricsRegistry
+
+    testbed = Testbed(TestbedConfig(seed=seed))
+    testbed.env.metrics = MetricsRegistry(testbed.env)
+    deployment = BlobSeerDeployment(
+        BlobSeerConfig(
+            data_providers=data_providers,
+            metadata_providers=metadata_providers,
+            replication=replication,
+            chunk_size_mb=chunk_size_mb,
+            client_chunk_cache_mb=chunk_cache_mb,
+            client_metadata_cache_mb=metadata_cache_mb,
+            provider_cache_mb=provider_cache_mb,
+            cache_policy=cache_policy,
+        ),
+        testbed=testbed,
+    )
+    writer_client = deployment.new_client("contend-writer")
+    writer = CorrectWriter(
+        writer_client,
+        op_mb=dataset_chunks * chunk_size_mb,
+        chunk_size_mb=chunk_size_mb,
+        max_ops=1,
+    )
+    zipf_readers = []
+    for i in range(readers):
+        client = deployment.new_client(f"contend-reader-{i}")
+        zipf_readers.append(ZipfReader(
+            client,
+            blob_id=-1,  # patched by preload()
+            total_chunks=dataset_chunks,
+            chunk_size_mb=chunk_size_mb,
+            rng=deployment.rng.stream(f"zipf:{i}"),
+            skew=skew,
+            think_s=think_s,
+        ))
+    bulk_writers = []
+    for i in range(load_writers):
+        client = deployment.new_client(f"contend-load-{i}")
+        bulk_writers.append(CorrectWriter(
+            client,
+            op_mb=writer_op_mb,
+            chunk_size_mb=writer_chunk_mb,
+        ))
+
+    query = QueryEngine.for_deployment(deployment,
+                                       window_s=3 * tuner_interval_s)
+    journal = None
+    if with_journal:
+        from ..introspection.provenance import DecisionJournal
+
+        journal = DecisionJournal(testbed.env,
+                                  effect_window_s=journal_effect_window_s)
+        journal.watch("cache-tuner", ["client.throughput_mbps"])
+        journal.watch("elasticity", ["elasticity.pool_size"])
+
+    arbiter = Arbiter(env=testbed.env, journal=journal)
+    rng = (deployment.rng.stream("decision:bandit")
+           if planner == "epsilon-greedy" else None)
+    tuner = build_cache_tuner(
+        query,
+        caches=deployment.caches,
+        planner=make_planner(planner, rng=rng,
+                             step_fraction=tuner_step_fraction),
+        arbiter=arbiter,
+        interval_s=tuner_interval_s,
+        reward_signal=SignalRef("client.throughput_mbps"),
+    )
+    elasticity = ElasticityEngine(
+        deployment,
+        min_providers=2,
+        max_providers=data_providers + max_extra_providers,
+        high_load=high_load,
+        low_load=low_load,
+        high_fill=high_fill,
+        scale_up_step=scale_up_step,
+        interval_s=elasticity_interval_s,
+        cooldown_s=elasticity_cooldown_s,
+        query=query,
+        arbiter=arbiter,
+        provider_cost_mb=provider_cost_mb,
+    )
+    held_caches = tuner.domain.held()
+    pool_cost = deployment.pmanager.pool_size() * provider_cost_mb
+    if memory_budget_mb is None:
+        if slack_mb is None:
+            slack_mb = 1.5 * provider_cost_mb
+        memory_budget_mb = held_caches + pool_cost + slack_mb
+    arbiter.ledger("memory_mb", capacity=memory_budget_mb)
+    arbiter.register("elasticity", band=0)
+    arbiter.register("cache-tuner", band=1, reclaim=tuner.domain.reclaim)
+    arbiter.assume("cache-tuner", "memory_mb", held_caches)
+    arbiter.assume("elasticity", "memory_mb", pool_cost)
+    if journal is not None:
+        tuner.attach_journal(journal)
+        elasticity.attach_journal(journal)
+    return ContentionScenario(
+        deployment=deployment,
+        writer=writer,
+        readers=zipf_readers,
+        load_writers=bulk_writers,
+        tuner=tuner,
+        elasticity=elasticity,
+        arbiter=arbiter,
+        journal=journal,
+        query=query,
+        dataset_chunks=dataset_chunks,
+        chunk_size_mb=chunk_size_mb,
+        shift_at=shift_at,
+        duration=duration,
+        slo_mbps=slo_mbps,
+        memory_budget_mb=memory_budget_mb,
+        planner_name=planner,
     )
