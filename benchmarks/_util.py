@@ -41,12 +41,14 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     return "\n".join(lines)
 
 
-def env_stats(env, net=None) -> Dict[str, Any]:
+def env_stats(env, net=None, deployment=None) -> Dict[str, Any]:
     """Kernel counters for the JSON dump, from any Environment.
 
     Pass the deployment's FlowNetwork as *net* to also record the
     water-filling pass count and solver workload, so every bench tracks
-    kernel cost for free.
+    kernel cost for free.  Pass the BlobSeerDeployment as *deployment*
+    to also record the control-plane counters (per-shard publish counts,
+    publish batch sizes, allocation-RPC counts — BENCH-META's axes).
     """
     stats: Dict[str, Any] = {
         "sim_time_s": env.now,
@@ -57,6 +59,8 @@ def env_stats(env, net=None) -> Dict[str, Any]:
     if net is not None:
         stats["net_reallocations"] = net.reallocations
         stats["net_realloc_flow_slots"] = net.realloc_flow_slots
+    if deployment is not None:
+        stats["control_plane"] = deployment.control_plane_stats()
     return stats
 
 

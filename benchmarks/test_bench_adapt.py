@@ -144,7 +144,8 @@ def test_bench_adapt(benchmark):
             "journal-on observables verified byte-identical to a "
             "journal-off twin (the journal is observably inert)",
         ],
-        stats=env_stats(env, on["scenario"].deployment.net),
+        stats=env_stats(env, on["scenario"].deployment.net,
+                        deployment=on["scenario"].deployment),
         headline={"metric": "slo_violation_ratio_on_vs_off",
                   "value": round(ratio, 3)},
     )

@@ -109,7 +109,7 @@ def run_soak(replicated: bool):
         "failovers": failovers,
         "pm_failovers": soak.get("pm_failovers", []),
         "harness": harness,
-        "stats": env_stats(env, net=deployment.testbed.net),
+        "stats": env_stats(env, net=deployment.testbed.net, deployment=deployment),
     }
 
 

@@ -139,7 +139,8 @@ def test_bench_cache(benchmark):
                 for name in sorted(reader_caches + [writer_cache])
             ),
         ],
-        stats=env_stats(on.deployment.env, net=on.deployment.testbed.net),
+        stats=env_stats(on.deployment.env, net=on.deployment.testbed.net,
+                        deployment=on.deployment),
         headline={"metric": "hotspot_read_speedup", "value": round(speedup, 3)},
     )
 

@@ -91,7 +91,7 @@ def test_bench_critical_path_overhead(benchmark):
                 f"(budget {MAX_OVERHEAD_PCT:.0f}%)",
                 "analysis is post-run only: the simulation never pays for it",
             ],
-            stats=env_stats(scenario.deployment.env, net=scenario.deployment.testbed.net),
+            stats=env_stats(scenario.deployment.env, net=scenario.deployment.testbed.net, deployment=scenario.deployment),
             headline={"metric": "critical_path_overhead_pct",
                       "value": overhead_pct},
         )

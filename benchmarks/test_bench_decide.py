@@ -194,7 +194,8 @@ def test_bench_decide(benchmark):
             "epsilon-greedy draws only from the dedicated decision:bandit "
             "stream, so every other stream is identical across planners",
         ],
-        stats=env_stats(env, ported["scenario"].deployment.net),
+        stats=env_stats(env, ported["scenario"].deployment.net,
+                        deployment=ported["scenario"].deployment),
         headline={
             "metric": "marginal_utility_slo_violation_s",
             "value": round(ported["slo_violation_s"], 3),

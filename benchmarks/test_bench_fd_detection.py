@@ -117,7 +117,7 @@ def run_churn(detector_on: bool):
         "rpc_retries": metrics.counter("rpc.retries").value,
         "rpc_timeouts": metrics.counter("rpc.timeouts").value,
         "pings": detector.pings_sent if detector_on else 0,
-        "stats": env_stats(env, net=deployment.testbed.net),
+        "stats": env_stats(env, net=deployment.testbed.net, deployment=deployment),
     }
 
 

@@ -36,7 +36,7 @@ def run_point(clients: int, with_monitoring: bool, chunk_mb: float):
     parameters = (
         scenario.monitoring.parameter_count() if scenario.monitoring else 0
     )
-    return throughput, parameters, env_stats(scenario.deployment.env, net=scenario.deployment.testbed.net)
+    return throughput, parameters, env_stats(scenario.deployment.env, net=scenario.deployment.testbed.net, deployment=scenario.deployment)
 
 
 def test_exp_b_introspection_overhead(benchmark):

@@ -179,12 +179,12 @@ class ElasticityController(ControlLoop):
     def _drain(self, provider: DataProvider):
         # Stop new allocations first, then move data away, then retire.
         provider.decommission()
-        self.deployment.pmanager.deregister(provider.provider_id)
+        self.deployment.active_pmanager().deregister(provider.provider_id)
         try:
             yield from migrate_chunks(provider, self.deployment)
         except NoProvidersAvailable:
             # Nowhere to put the data: cancel the scale-down.
             provider.recommission()
-            self.deployment.pmanager.register(provider)
+            self.deployment.active_pmanager().register(provider)
         finally:
             self._draining.discard(provider.provider_id)

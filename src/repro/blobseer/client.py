@@ -95,6 +95,8 @@ class BlobSeerClient:
         rpc_retry=None,
         chunk_cache=None,
         metadata_cache=None,
+        pipeline_publish: bool = False,
+        per_chunk_allocation: bool = False,
     ) -> None:
         self.node = node
         self.client_id = client_id
@@ -116,6 +118,18 @@ class BlobSeerClient:
         #: disk, no network transfer, zero simulation time.  ``None``
         #: (the default) keeps the cache-less fast path byte-identical.
         self.chunk_cache = chunk_cache
+        #: Publish pipelining (opt-in): request the metadata ticket
+        #: concurrently with the chunk pushes instead of strictly after
+        #: them, hiding the ticket round trip (and any per-blob lock
+        #: queueing) behind the data transfer.  Safe because the ticket
+        #: is independent of push completion — a failed write abandons
+        #: it exactly as in the sequential path.  Default off: the
+        #: sequential ordering is byte-identical to the seed.
+        self.pipeline_publish = bool(pipeline_publish)
+        #: Ablation arm for BENCH-META: issue one allocation RPC per
+        #: chunk (the naive protocol) instead of one batched RPC per
+        #: write.  Default off = the batched allocation path.
+        self.per_chunk_allocation = bool(per_chunk_allocation)
         self.meta = MetadataStore(
             node.network, node, metadata_providers, cache=metadata_cache
         )
@@ -240,6 +254,7 @@ class BlobSeerClient:
         root = tracer.begin(f"client.{op}", track=self.node.name, cat="client",
                             client=self.client_id, blob=blob_id, size_mb=size_mb)
         ticket: Optional[Ticket] = None
+        ticket_proc = None
         in_critical = False
         try:
             chunk_size = self._chunk_size.get(blob_id)
@@ -261,11 +276,31 @@ class BlobSeerClient:
             if offset_mb is not None:
                 chunk_span(offset_mb, size_mb, chunk_size)  # alignment check
 
-            # 1. allocate providers
+            # 1. allocate providers — the whole write's placement in one
+            #    batched RPC (or one RPC per chunk in the ablation arm).
             with tracer.span("client.allocate", cat="client", chunks=count):
-                placement = yield from self.pm.remote_allocate(
-                    self.node, count, self.replication, self.client_id,
-                    timeout_s=self.rpc_timeout_s, retry=self.rpc_retry,
+                if self.per_chunk_allocation:
+                    placement = []
+                    for _ in range(count):
+                        single = yield from self.pm.remote_allocate(
+                            self.node, 1, self.replication, self.client_id,
+                            timeout_s=self.rpc_timeout_s, retry=self.rpc_retry,
+                        )
+                        placement.extend(single)
+                else:
+                    placement = yield from self.pm.remote_allocate(
+                        self.node, count, self.replication, self.client_id,
+                        timeout_s=self.rpc_timeout_s, retry=self.rpc_retry,
+                    )
+
+            # Pipelined publish (opt-in): the ticket round trip — and any
+            # per-blob lock queueing behind a concurrent writer — runs
+            # concurrently with the chunk pushes below and is collected
+            # once the data is safely stored.
+            if self.pipeline_publish:
+                ticket_proc = self.env.process(
+                    self._ticket_rpc(blob_id, size_mb, offset_mb, ctx=root),
+                    name=f"ticket-{self.client_id}",
                 )
 
             # 2. push chunks to every replica in parallel; chunks whose
@@ -305,12 +340,19 @@ class BlobSeerClient:
                         f"could not store {len(failures)} chunk(s) after retries"
                     )
 
-            # 3. ticket (serializes metadata per blob)
-            with tracer.span("client.ticket", cat="client"):
-                ticket = yield from self.vm.remote_ticket(
-                    self.node, blob_id, size_mb, self.client_id, offset_mb,
-                    timeout_s=self.rpc_timeout_s, retry=self.rpc_retry,
-                )
+            # 3. ticket (serializes metadata per blob) — already in
+            #    flight when pipelining, issued now otherwise.
+            if ticket_proc is not None:
+                outcome = yield ticket_proc
+                if isinstance(outcome, BaseException):
+                    raise outcome
+                ticket = outcome
+            else:
+                with tracer.span("client.ticket", cat="client"):
+                    ticket = yield from self.vm.remote_ticket(
+                        self.node, blob_id, size_mb, self.client_id, offset_mb,
+                        timeout_s=self.rpc_timeout_s, retry=self.rpc_retry,
+                    )
             in_critical = True
 
             # 4. metadata: copy-on-write segment tree nodes
@@ -338,6 +380,14 @@ class BlobSeerClient:
             root.finish(ok=True, version=ticket.version)
             return result
         except (BlobSeerError, NodeDownError, TransferAborted) as exc:
+            if ticket is None and ticket_proc is not None:
+                # The pushes failed with the pipelined ticket still in
+                # flight: collect it so the version number is burned
+                # (abandoned) rather than leaked as a wedged lock.
+                outcome = yield ticket_proc
+                if isinstance(outcome, Ticket):
+                    ticket = outcome
+                    in_critical = True
             if ticket is not None and in_critical:
                 self.vm.abandon(ticket)
             result = self._record(op, blob_id, size_mb, start, ok=False, error=str(exc))
@@ -345,6 +395,22 @@ class BlobSeerClient:
             raise
         finally:
             root.finish()
+
+    def _ticket_rpc(self, blob_id, size_mb, offset_mb, ctx=None):
+        """Process body for the pipelined ticket RPC.
+
+        Failures are *returned*, not raised: the process completes while
+        the owning write may still be mid-push, and an unobserved failed
+        process would crash the run.  The caller re-raises on collect."""
+        try:
+            with self.env.tracer.span("client.ticket", cat="client", parent=ctx):
+                ticket = yield from self.vm.remote_ticket(
+                    self.node, blob_id, size_mb, self.client_id, offset_mb,
+                    timeout_s=self.rpc_timeout_s, retry=self.rpc_retry,
+                )
+        except (BlobSeerError, NodeDownError, TransferAborted) as exc:
+            return exc
+        return ticket
 
     def _push_chunk(self, descriptor, replicas, rate_cap, failures, ctx=None):
         """Process: push one chunk to all its replicas; on any failure,

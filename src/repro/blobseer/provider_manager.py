@@ -45,13 +45,19 @@ class ProviderManager:
         strategy: Optional[AllocationStrategy] = None,
         sink: Optional[EventSink] = None,
         allocation_cpu_s: float = 0.0001,
+        actor_id: str = "pm",
     ) -> None:
         self.node = node
         self.strategy = strategy or RoundRobinAllocation()
         self.sink = sink or NullSink()
         self.allocation_cpu_s = allocation_cpu_s
+        self.actor_id = actor_id
         self.providers: Dict[str, DataProvider] = {}
+        #: Allocation RPCs served and chunks placed across them; their
+        #: ratio is the batching factor (one RPC placing a whole write's
+        #: chunks vs one RPC per chunk).
         self.allocations = 0
+        self.allocated_chunks = 0
         #: Warm standby (repro.robustness.replication): a standby refuses
         #: allocations until its takeover re-registration sweep finishes.
         #: False for the plain single-manager deployment.
@@ -128,6 +134,7 @@ class ProviderManager:
             raise NoProvidersAvailable("provider pool is empty")
         placement = self.strategy.select(active, chunk_count, replication)
         self.allocations += 1
+        self.allocated_chunks += chunk_count
         self._emit(
             EV_ALLOCATION,
             client_id=client_id,
@@ -230,7 +237,7 @@ class ProviderManager:
         self.sink.emit(MonitoringEvent(
             time=self.env.now,
             actor_type="pmanager",
-            actor_id="pm",
+            actor_id=self.actor_id,
             event_type=event_type,
             client_id=client_id,
             fields=fields,

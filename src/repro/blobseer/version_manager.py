@@ -74,6 +74,9 @@ class VersionManager:
         sink: Optional[EventSink] = None,
         op_cpu_s: float = 0.003,
         tree_capacity: int = DEFAULT_CAPACITY,
+        id_start: int = 1,
+        id_stride: int = 1,
+        actor_id: str = "vm",
     ) -> None:
         # op_cpu_s: CPU time per RPC entry.  The version manager is
         # BlobSeer's serialization service; a few ms per ticket/publish
@@ -83,9 +86,17 @@ class VersionManager:
         self.sink = sink or NullSink()
         self.op_cpu_s = op_cpu_s
         self.tree_capacity = tree_capacity
+        self.actor_id = actor_id
         self.blobs: Dict[int, BlobInfo] = {}
+        #: Blob-id minting: shard *i* of an N-shard control plane mints
+        #: ids in the residue class ``id_start (mod id_stride)``, so the
+        #: owning shard of any blob is computable statelessly from its id
+        #: ((blob_id - 1) % N) and id spaces never collide.  The defaults
+        #: (1, 1) are the original single-manager sequence.
+        self.id_start = id_start
+        self.id_stride = id_stride
         #: Next blob id to mint (plain int so replicas can mirror it).
-        self._next_blob_id = 1
+        self._next_blob_id = id_start
         #: Per-blob metadata critical section (ticket -> complete).
         self._locks: Dict[int, Resource] = {}
         self._held: Dict[int, object] = {}
@@ -97,6 +108,11 @@ class VersionManager:
         #: Standby replicas apply the log without emitting monitoring
         #: events or metrics (only the active primary is observable).
         self.passive = False
+        #: Optional :class:`~repro.blobseer.rpc.GroupCommitGate`: when
+        #: set, the per-RPC entry CPU goes through vectorized group
+        #: commit instead of one full charge per request.  None (the
+        #: default) keeps the original per-request charge bit-for-bit.
+        self.batch_gate = None
 
     @property
     def env(self):
@@ -117,7 +133,7 @@ class VersionManager:
     def apply_create(self, blob_id: int, chunk_size_mb: float) -> None:
         """Materialize blob *blob_id*; idempotent (log replay safe)."""
         if blob_id >= self._next_blob_id:
-            self._next_blob_id = blob_id + 1
+            self._next_blob_id = blob_id + self.id_stride
         if blob_id in self.blobs:
             return
         self.blobs[blob_id] = BlobInfo(blob_id=blob_id, chunk_size_mb=chunk_size_mb)
@@ -275,7 +291,7 @@ class VersionManager:
         self.blobs.clear()
         self._locks.clear()
         self._held.clear()
-        self._next_blob_id = 1
+        self._next_blob_id = self.id_start
         self.tickets_issued = 0
         self.versions_published = 0
 
@@ -572,13 +588,20 @@ class VersionManager:
         return result
 
     # -- plumbing -----------------------------------------------------------------
+    def _entry_compute(self):
+        """Per-RPC entry CPU: group-committed when a batch gate is set,
+        otherwise the original full per-request charge."""
+        if self.batch_gate is not None:
+            yield from self.batch_gate.submit()
+        elif self.op_cpu_s > 0:
+            yield from self.node.compute(self.op_cpu_s)
+
     def _roundtrip_in(self, caller: PhysicalNode):
         if not self.node.alive:
             raise NodeDownError(self.node, "version manager RPC")
         yield self.net.transfer(caller.name, self.node.name, CONTROL_MSG_MB)
         self._fence()
-        if self.op_cpu_s > 0:
-            yield from self.node.compute(self.op_cpu_s)
+        yield from self._entry_compute()
 
     def _roundtrip_out(self, caller: PhysicalNode):
         yield self.net.transfer(self.node.name, caller.name, CONTROL_MSG_MB)
@@ -606,8 +629,7 @@ class VersionManager:
         if not self.node.alive:
             raise NodeDownError(self.node, "version manager RPC")
         self._fence()
-        if self.op_cpu_s > 0:
-            yield from self.node.compute(self.op_cpu_s)
+        yield from self._entry_compute()
 
     def _guarded_out(self, caller, deadline, timeout_s, op):
         value = yield from wait_or_timeout(
@@ -622,7 +644,7 @@ class VersionManager:
         self.sink.emit(MonitoringEvent(
             time=self.env.now,
             actor_type="vmanager",
-            actor_id="vm",
+            actor_id=self.actor_id,
             event_type=event_type,
             client_id=client_id,
             blob_id=blob_id,

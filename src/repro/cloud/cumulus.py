@@ -67,11 +67,24 @@ class CumulusGateway:
         #: *on* the gateway node (the gateway is the BlobSeer client).
         #: Against a replicated control plane it goes through the
         #: failover-aware handles, like any other client.
-        vmanager = deployment.vmanager
-        if deployment.vm_group is not None:
+        if deployment.config.vm_shards > 1:
+            from ..blobseer.sharding import ShardRouter
+
+            targets = []
+            for s, group in enumerate(deployment.vm_groups):
+                if group is not None:
+                    targets.append(group.handle(
+                        rng=deployment.rng.stream(f"vm-resolve:{gateway_id}:s{s}")
+                    ))
+                else:
+                    targets.append(deployment.vm_shards[s])
+            vmanager = ShardRouter(targets, deployment._blob_create_seq)
+        elif deployment.vm_group is not None:
             vmanager = deployment.vm_group.handle(
                 rng=deployment.rng.stream(f"vm-resolve:{gateway_id}")
             )
+        else:
+            vmanager = deployment.vmanager
         pmanager = deployment.pmanager
         if deployment.pm_group is not None:
             pmanager = deployment.pm_group.handle(

@@ -512,12 +512,12 @@ class ElasticityEngine(DecisionLoop):
         from ..blobseer.errors import NoProvidersAvailable
 
         provider.decommission()
-        self.deployment.pmanager.deregister(provider.provider_id)
+        self.deployment.active_pmanager().deregister(provider.provider_id)
         try:
             yield from migrate_chunks(provider, self.deployment)
         except NoProvidersAvailable:
             provider.recommission()
-            self.deployment.pmanager.register(provider)
+            self.deployment.active_pmanager().register(provider)
         finally:
             self._draining.discard(provider.provider_id)
 

@@ -107,21 +107,31 @@ class ChaosHarness:
     def attach_journal(self, journal) -> "ChaosHarness":
         """Record every invariant violation + soak summary into *journal*."""
         self.journal = journal
-        if (self.deployment.vm_group is not None
-                and self.deployment.vm_group.journal is None):
-            self.deployment.vm_group.attach_journal(journal)
+        for group in self._vm_groups():
+            if group is not None and group.journal is None:
+                group.attach_journal(journal)
         return self
+
+    def _vm_groups(self):
+        """Per-shard replica groups (pre-sharding deployments expose one)."""
+        dep = self.deployment
+        return getattr(dep, "vm_groups", None) or [dep.vm_group]
 
     # -- fault-target resolution ------------------------------------------------
     def resolve_target(self, name: str):
-        """Role aliases resolve at fire time; anything else is a node name."""
+        """Role aliases resolve at fire time; anything else is a node name.
+
+        ``"vm-primary"`` is shard 0's primary; ``"vm-primary-s{i}"``
+        chases shard *i*'s primary through its own failovers."""
         dep = self.deployment
-        if name == "vm-primary":
-            if dep.vm_group is not None:
-                replica = dep.vm_group.active_replica()
+        if name == "vm-primary" or name.startswith("vm-primary-s"):
+            shard = 0 if name == "vm-primary" else int(name[len("vm-primary-s"):])
+            group = self._vm_groups()[shard]
+            if group is not None:
+                replica = group.active_replica()
                 if replica is not None:
                     return replica.node
-            return dep.vmanager.node
+            return dep.vm_shards[shard].node
         if name == "pm-active":
             if dep.pm_group is not None:
                 return dep.pm_group.active_pm().node
@@ -156,37 +166,54 @@ class ChaosHarness:
         return self.report()
 
     # -- authority lookup ---------------------------------------------------------
-    def _authority_vm(self):
-        """The version manager whose state is currently authoritative,
-        or None while no replica serves (mid-failover)."""
+    def _authority_vms(self):
+        """Per-shard authoritative version managers; a shard's entry is
+        None while none of its replicas serves (mid-failover)."""
         dep = self.deployment
-        if dep.vm_group is None:
-            return dep.vmanager
-        return dep.vm_group.active_vm()
+        vms = []
+        for s, group in enumerate(self._vm_groups()):
+            if group is None:
+                vms.append(dep.vm_shards[s])
+            else:
+                vms.append(group.active_vm())
+        return vms
+
+    def _authority_vm(self):
+        """Shard 0's authority (pre-sharding back-compat)."""
+        return self._authority_vms()[0]
 
     # -- invariant checks ---------------------------------------------------------
     def check_invariants(self, clients, final: bool = False) -> None:
         self.checks_run += 1
-        vm = self._authority_vm()
-        if vm is None:
+        vms = self._authority_vms()
+        if any(vm is None for vm in vms):
             if final:
-                self._flag("at_most_one_active_primary",
-                           "no serving primary after settle period")
+                for s, vm in enumerate(vms):
+                    if vm is None:
+                        self._flag(
+                            "at_most_one_active_primary",
+                            f"shard {s}: no serving primary after settle period",
+                        )
             else:
                 self.checks_deferred += 1
             return
-        self.check_acked_writes_durable(vm, clients)
-        self.check_gap_free_history(vm, final=final)
+        self.check_acked_writes_durable(vms, clients)
+        for vm in vms:
+            self.check_gap_free_history(vm, final=final)
         self.check_single_primary()
         self.check_read_your_writes(clients)
 
-    def check_acked_writes_durable(self, vm, clients) -> None:
+    def check_acked_writes_durable(self, vms, clients) -> None:
+        if not isinstance(vms, (list, tuple)):
+            vms = [vms]
         for client in clients:
             for op in client.history:
                 if op.op not in ("write", "append") or not op.ok:
                     continue
                 if op.version is None or op.blob_id is None:
                     continue
+                # A blob's owning shard is a pure function of its id.
+                vm = vms[(op.blob_id - 1) % len(vms)]
                 info = vm.blobs.get(op.blob_id)
                 record = (
                     info.versions.get(op.version) if info is not None else None
@@ -240,23 +267,23 @@ class ChaosHarness:
                 )
 
     def check_single_primary(self) -> None:
-        group = self.deployment.vm_group
-        if group is None:
-            return
-        serving = [r for r in group.replicas if r.serving()]
-        epochs = [r.epoch for r in serving]
-        if len(set(epochs)) != len(epochs):
-            self._flag(
-                "at_most_one_active_primary",
-                f"two replicas serve the same epoch: "
-                f"{[(r.name, r.epoch) for r in serving]}",
-            )
-        failover_epochs = [e.epoch for e in group.failovers]
-        if any(b <= a for a, b in zip(failover_epochs, failover_epochs[1:])):
-            self._flag(
-                "at_most_one_active_primary",
-                f"failover epochs not strictly increasing: {failover_epochs}",
-            )
+        for group in self._vm_groups():
+            if group is None:
+                continue
+            serving = [r for r in group.replicas if r.serving()]
+            epochs = [r.epoch for r in serving]
+            if len(set(epochs)) != len(epochs):
+                self._flag(
+                    "at_most_one_active_primary",
+                    f"two replicas serve the same epoch: "
+                    f"{[(r.name, r.epoch) for r in serving]}",
+                )
+            failover_epochs = [e.epoch for e in group.failovers]
+            if any(b <= a for a, b in zip(failover_epochs, failover_epochs[1:])):
+                self._flag(
+                    "at_most_one_active_primary",
+                    f"failover epochs not strictly increasing: {failover_epochs}",
+                )
 
     def check_read_your_writes(self, clients) -> None:
         for client in clients:
@@ -282,10 +309,12 @@ class ChaosHarness:
                         )
 
     def check_convergence(self) -> None:
-        """Final check: every live replica mirrors the authority."""
-        group = self.deployment.vm_group
-        if group is None:
-            return
+        """Final check: every live replica mirrors its shard's authority."""
+        for group in self._vm_groups():
+            if group is not None:
+                self._check_group_convergence(group)
+
+    def _check_group_convergence(self, group) -> None:
         authority = group.active_replica()
         if authority is None:
             return  # already flagged by the final check_invariants
@@ -359,6 +388,11 @@ class ChaosHarness:
                     "outage_s": e.outage_s,
                 }
                 for e in dep.vm_group.failovers
+            ]
+        extra_groups = [g for g in self._vm_groups()[1:] if g is not None]
+        if extra_groups:
+            report["vm_shards"] = [
+                g.stats() if g is not None else None for g in self._vm_groups()
             ]
         if dep.pm_group is not None:
             report["pm_failovers"] = list(dep.pm_group.failovers)

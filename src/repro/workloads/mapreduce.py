@@ -178,7 +178,8 @@ class MapReduceJob:
         yield env.all_of(tasks)
         stats.finished_at = env.now
         stats.bytes_mb = sum(
-            self.deployment.vmanager.latest(b)[1] for b in self.intermediate.values()
+            self.deployment.authority_vm(b).latest(b)[1]
+            for b in self.intermediate.values()
         )
 
     def _reduce_task(self, env, index: int, group: List[int]):
@@ -186,7 +187,7 @@ class MapReduceJob:
         pulled_mb = 0.0
         try:
             for blob_id in group:
-                _v, size_mb, _c = self.deployment.vmanager.latest(blob_id)
+                _v, size_mb, _c = self.deployment.authority_vm(blob_id).latest(blob_id)
                 if size_mb > 0:
                     yield env.process(client.read(blob_id, 0.0, size_mb))
                     pulled_mb += size_mb
@@ -219,7 +220,9 @@ class MapReduceJob:
             "map_read_mbps": round(self.stats["map"].throughput_mbps, 1),
             "failed_tasks": self.failed_tasks,
             "output_mb": (
-                self.deployment.vmanager.latest(self.output_blob)[1]
+                self.deployment.authority_vm(self.output_blob).latest(
+                    self.output_blob
+                )[1]
                 if self.output_blob else 0.0
             ),
         }

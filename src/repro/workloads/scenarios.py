@@ -39,6 +39,8 @@ from .clients import CorrectWriter, DosAttacker, ZipfReader
 __all__ = [
     "WriteScenario",
     "build_write_scenario",
+    "FanoutScenario",
+    "build_fanout_scenario",
     "DosScenario",
     "build_dos_scenario",
     "HotspotScenario",
@@ -110,6 +112,117 @@ def build_write_scenario(
             max_ops=ops_per_client,
         ))
     return WriteScenario(deployment, monitoring, writers)
+
+
+@dataclass
+class FanoutScenario:
+    """Handles for a BENCH-META control-plane fan-out run.
+
+    Many small concurrent writers, each appending to its own BLOB: the
+    data plane is nearly idle while every write still crosses the
+    allocate → ticket → publish control path, so aggregate throughput
+    measures the control plane's serialization point, not the disks.
+    """
+
+    deployment: BlobSeerDeployment
+    writers: List[CorrectWriter]
+
+    __test__ = False
+
+    def run(self, until: Optional[float] = None) -> None:
+        env = self.deployment.env
+        procs = [env.process(w.run(env), name=f"writer-{i}")
+                 for i, w in enumerate(self.writers)]
+        if until is not None:
+            self.deployment.run(until=until)
+        else:
+            self.deployment.run(until=env.all_of(procs))
+
+    # -- headline numbers ----------------------------------------------------------
+    def completed_ops(self) -> int:
+        return sum(len(w.results) for w in self.writers)
+
+    def makespan_s(self) -> float:
+        """First create to last publish, across all writers."""
+        finishes = [op.finished_at for w in self.writers for op in w.results]
+        return max(finishes) if finishes else 0.0
+
+    def aggregate_write_throughput(self) -> float:
+        """Published writes per second of simulated time."""
+        makespan = self.makespan_s()
+        return self.completed_ops() / makespan if makespan > 0 else 0.0
+
+    def control_plane_stats(self) -> dict:
+        return self.deployment.control_plane_stats()
+
+    # -- observables (the determinism contract) ------------------------------------
+    def observables(self) -> str:
+        """Every client-visible observable plus the control-plane
+        counters, as one canonical JSON string (byte-identical per
+        seed)."""
+        import json
+
+        env = self.deployment.env
+        payload = {
+            "end": env.now,
+            "events": env.events_processed,
+            "completions": [
+                [w.client.client_id, w.blob_id,
+                 [[op.op, op.blob_id, round(op.size_mb, 6),
+                   round(op.started_at, 9), round(op.finished_at, 9),
+                   op.ok, op.version]
+                  for op in w.client.history]]
+                for w in self.writers
+            ],
+            "control_plane": self.deployment.control_plane_stats(),
+            "pool": self.deployment.storage_stats(),
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def build_fanout_scenario(
+    writers: int,
+    ops_per_writer: int = 1,
+    op_mb: float = 1.0,
+    chunk_size_mb: float = 1.0,
+    data_providers: int = 64,
+    metadata_providers: int = 4,
+    vm_shards: int = 1,
+    pm_shards: int = 1,
+    vm_batch: bool = False,
+    client_pipelining: bool = False,
+    per_chunk_allocation: bool = False,
+    allocation: str = "round_robin",
+    vm_replicas: int = 1,
+    ramp_s: float = 1.0,
+    seed: int = 0,
+) -> FanoutScenario:
+    """BENCH-META: *writers* concurrent clients, each creating one BLOB
+    and appending ``ops_per_writer`` small writes, start times spread
+    uniformly over ``ramp_s`` so arrivals are not a single thundering
+    instant (deterministic spacing, not random)."""
+    deployment = BlobSeerDeployment(BlobSeerConfig(
+        data_providers=data_providers,
+        metadata_providers=metadata_providers,
+        chunk_size_mb=chunk_size_mb,
+        allocation=allocation,
+        vm_shards=vm_shards,
+        pm_shards=pm_shards,
+        vm_batch=vm_batch,
+        vm_replicas=vm_replicas,
+        client_pipelining=client_pipelining,
+        per_chunk_allocation=per_chunk_allocation,
+        testbed=TestbedConfig(seed=seed),
+    ))
+    step = ramp_s / writers if writers else 0.0
+    scenario_writers = []
+    for i in range(writers):
+        client = deployment.new_client(f"client-{i}")
+        scenario_writers.append(CorrectWriter(
+            client, op_mb=op_mb, chunk_size_mb=chunk_size_mb,
+            start_at=i * step, max_ops=ops_per_writer,
+        ))
+    return FanoutScenario(deployment, scenario_writers)
 
 
 @dataclass
